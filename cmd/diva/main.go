@@ -1,0 +1,181 @@
+// Command diva anonymizes a CSV relation under k-anonymity and diversity
+// constraints, writing the anonymized relation to stdout.
+//
+// Usage:
+//
+//	diva -in data.csv -constraints sigma.txt -k 10 [-strategy MaxFanOut]
+//	     [-seed 1] [-baseline k-member] [-verify] [-stats]
+//
+// The input CSV header must annotate each column as NAME:role[:kind], e.g.
+//
+//	GEN:qi,ETH:qi,AGE:qi:numeric,PRV:qi,CTY:qi,DIAG:sensitive
+//
+// The constraints file holds one constraint per line in the paper's
+// notation, e.g.
+//
+//	ETH[Asian], 2, 5
+//	ETH[African], 1, 3
+//	CTY[Vancouver], 2, 4
+//
+// Running without -constraints applies the plain baseline anonymizer to the
+// whole relation.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diva"
+	"diva/internal/metrics"
+	"diva/internal/report"
+	"diva/internal/search"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input CSV with annotated header (required)")
+		constraints = flag.String("constraints", "", "diversity constraints file (one per line)")
+		k           = flag.Int("k", 3, "privacy parameter: minimum QI-group size")
+		strategy    = flag.String("strategy", "MaxFanOut", "node-selection strategy: Basic, MinChoice or MaxFanOut")
+		seed        = flag.Uint64("seed", 1, "random seed for reproducible runs")
+		baseline    = flag.String("baseline", "k-member", "off-the-shelf anonymizer: k-member, oka or mondrian")
+		verify      = flag.Bool("verify", false, "re-check the output (k-anonymity, R ⊑ R', Σ) before printing")
+		stats       = flag.Bool("stats", false, "print metrics to stderr")
+		ldiv        = flag.Int("ldiversity", 0, "additionally require distinct l-diversity with this l (0 = off)")
+		parallel    = flag.Int("parallel", 0, "run this many concurrent coloring searches (0 = sequential)")
+		reportFmt   = flag.String("report", "", "write a run report to stderr: text, markdown or json")
+		hierarchies hierarchyFlags
+	)
+	flag.Var(&hierarchies, "hierarchy", "ATTR=FILE: generalize ATTR via the child->parent hierarchy in FILE instead of suppressing (repeatable)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "diva: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	rel, err := diva.ReadAnnotatedCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var sigma diva.Constraints
+	if *constraints != "" {
+		cf, err := os.Open(*constraints)
+		if err != nil {
+			fatal(err)
+		}
+		sigma, err = diva.ParseConstraints(cf)
+		cf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	strat, err := search.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	hs, err := hierarchies.load()
+	if err != nil {
+		fatal(err)
+	}
+	opts := diva.Options{
+		K:           *k,
+		Strategy:    strat,
+		Seed:        *seed,
+		Baseline:    *baseline,
+		LDiversity:  *ldiv,
+		Parallel:    *parallel,
+		Hierarchies: hs,
+	}
+	if hs != nil && *verify {
+		fatal(errors.New("-verify checks the strict R ⊑ R' relation, which generalized outputs do not satisfy; drop -verify or -hierarchy"))
+	}
+
+	var out *diva.Relation
+	if len(sigma) == 0 {
+		out, err = diva.AnonymizeBaseline(rel, *baseline, opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err := diva.Anonymize(rel, sigma, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *verify {
+			if err := diva.Verify(rel, res, sigma, *k); err != nil {
+				fatal(err)
+			}
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "coloring: %d steps, %d backtracks; integrate repaired %d cells\n",
+				res.Stats.Steps, res.Stats.Backtracks, res.RepairedCells)
+		}
+		out = res.Output
+	}
+
+	if *stats {
+		fmt.Fprintln(os.Stderr, metrics.Summarize(out, *k))
+	}
+	if *reportFmt != "" {
+		rep, err := report.Build(out, sigma, *k)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Write(os.Stderr, *reportFmt); err != nil {
+			fatal(err)
+		}
+	}
+	if err := diva.WriteCSV(os.Stdout, out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diva:", err)
+	os.Exit(1)
+}
+
+// hierarchyFlags collects repeated -hierarchy ATTR=FILE flags.
+type hierarchyFlags []string
+
+func (h *hierarchyFlags) String() string { return strings.Join(*h, ",") }
+
+func (h *hierarchyFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want ATTR=FILE, got %q", v)
+	}
+	*h = append(*h, v)
+	return nil
+}
+
+func (h hierarchyFlags) load() (diva.Hierarchies, error) {
+	if len(h) == 0 {
+		return nil, nil
+	}
+	hs := diva.Hierarchies{}
+	for _, spec := range h {
+		attr, file, _ := strings.Cut(spec, "=")
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		hier, err := diva.ParseHierarchy(attr, string(data))
+		if err != nil {
+			return nil, err
+		}
+		hs[attr] = hier
+	}
+	return hs, nil
+}

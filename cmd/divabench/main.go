@@ -1,0 +1,102 @@
+// Command divabench regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	divabench [-exp id[,id...]] [-scale 0.1] [-seed N] [-k 10] [-sigma 8]
+//	          [-csv] [-quiet]
+//
+// With no -exp, every experiment runs in paper order. -scale multiplies the
+// |R| sweeps (1.0 = the paper's full sizes; expect hours). -csv prints
+// machine-readable series instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"diva/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "comma-separated experiment ids (default: all); one of table4, table5, fig4a..fig4d, fig5a..fig5d")
+		scale  = flag.Float64("scale", 0.1, "scale factor for |R| sweeps (1.0 = paper sizes)")
+		seed   = flag.Uint64("seed", 0, "random seed (0 = harness default)")
+		k      = flag.Int("k", 0, "default privacy parameter k (0 = harness default 10)")
+		sigma  = flag.Int("sigma", 0, "default |Sigma| (0 = harness default 8)")
+		csvOut = flag.Bool("csv", false, "emit CSV series instead of aligned text")
+		outDir = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
+		quiet  = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:          *scale,
+		Seed:           *seed,
+		K:              *k,
+		NumConstraints: *sigma,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	var ids []string
+	if *exp == "" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	exit := 0
+	for _, id := range ids {
+		e, ok := bench.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "divabench: unknown experiment %q\n", id)
+			exit = 2
+			continue
+		}
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "divabench: %s: %v\n", e.ID, err)
+			exit = 1
+			continue
+		}
+		printTable(os.Stdout, table, *csvOut)
+		if *outDir != "" {
+			if err := writeCSVFile(*outDir, table); err != nil {
+				fmt.Fprintf(os.Stderr, "divabench: %s: %v\n", e.ID, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func writeCSVFile(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	t.CSV(f)
+	return f.Close()
+}
+
+func printTable(w io.Writer, t *bench.Table, csv bool) {
+	if csv {
+		fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+		t.CSV(w)
+		fmt.Fprintln(w)
+		return
+	}
+	t.Print(w)
+}

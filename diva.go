@@ -1,0 +1,306 @@
+// Package diva is a Go implementation of DIVA, the DIVersity-driven
+// Anonymization algorithm of Milani, Huang and Chiang ("Preserving Diversity
+// in Anonymized Data", EDBT 2021). It publishes k-anonymous relations that
+// additionally satisfy declarative diversity constraints — lower and upper
+// bounds on how often characteristic attribute values must appear in the
+// published data — using value suppression with minimal information loss.
+//
+// The package also ships three classical k-anonymization baselines
+// (k-member, OKA, Mondrian), the evaluation metrics of the paper
+// (suppression loss, discernibility, accuracy, conflict rate), constraint
+// workload generators, and synthetic dataset generators mirroring the
+// paper's evaluation datasets.
+//
+// # Quick start
+//
+//	rel, _ := diva.ReadAnnotatedCSV(file)        // header: NAME:role[:kind]
+//	sigma := diva.Constraints{
+//		diva.NewConstraint("ETH", "Asian", 2, 5),
+//		diva.NewConstraint("CTY", "Vancouver", 2, 4),
+//	}
+//	res, err := diva.Anonymize(rel, sigma, diva.Options{
+//		K:        3,
+//		Strategy: diva.MaxFanOut,
+//		Seed:     42,
+//	})
+//	if err != nil { ... }
+//	diva.WriteCSV(os.Stdout, res.Output)
+package diva
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"diva/internal/anon"
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+	"diva/internal/core"
+	"diva/internal/hierarchy"
+	"diva/internal/metrics"
+	"diva/internal/privacy"
+	"diva/internal/relation"
+	"diva/internal/search"
+)
+
+// Re-exported relational substrate types. See the internal/relation package
+// for full documentation.
+type (
+	// Relation is a dictionary-encoded tuple store over a fixed schema.
+	Relation = relation.Relation
+	// Schema is an ordered list of attributes with privacy roles.
+	Schema = relation.Schema
+	// Attribute describes one column: name, role and kind.
+	Attribute = relation.Attribute
+	// Role classifies an attribute as QI, Sensitive or Identifier.
+	Role = relation.Role
+	// Kind classifies an attribute domain as Categorical or Numeric.
+	Kind = relation.Kind
+)
+
+// Attribute roles and kinds.
+const (
+	QI          = relation.QI
+	Sensitive   = relation.Sensitive
+	Identifier  = relation.Identifier
+	Categorical = relation.Categorical
+	Numeric     = relation.Numeric
+)
+
+// Star is the textual rendering of the suppression marker ★.
+const Star = relation.Star
+
+// Hierarchy is a value generalization hierarchy for one attribute; see
+// NewIntervalHierarchy and ParseHierarchy.
+type Hierarchy = hierarchy.Hierarchy
+
+// Hierarchies maps attribute names to their generalization hierarchies.
+type Hierarchies = hierarchy.Set
+
+// Constraint is a diversity constraint σ = (X[t], λl, λr).
+type Constraint = constraint.Constraint
+
+// Constraints is a set of diversity constraints Σ.
+type Constraints = constraint.Set
+
+// Result carries a DIVA run's output relation and diagnostics.
+type Result = core.Result
+
+// Strategy selects DIVA's coloring node order.
+type Strategy = search.Strategy
+
+// Node-selection strategies for the diverse-clustering search.
+const (
+	// Basic picks random nodes (DIVA-Basic).
+	Basic = search.Basic
+	// MinChoice picks the most constrained node first.
+	MinChoice = search.MinChoice
+	// MaxFanOut picks the node with the most uncolored neighbors first.
+	MaxFanOut = search.MaxFanOut
+)
+
+// ErrNoDiverseClustering is returned when no k-anonymous relation satisfying
+// the constraints exists (or none was found within the search budget).
+var ErrNoDiverseClustering = core.ErrNoDiverseClustering
+
+// NewSchema builds a schema from attributes; names must be unique.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return relation.NewSchema(attrs...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs ...Attribute) *Schema { return relation.MustSchema(attrs...) }
+
+// NewRelation returns an empty relation over schema.
+func NewRelation(schema *Schema) *Relation { return relation.New(schema) }
+
+// ReadCSV loads a relation from CSV whose header matches schema's attribute
+// names.
+func ReadCSV(r io.Reader, schema *Schema) (*Relation, error) { return relation.ReadCSV(r, schema) }
+
+// ReadAnnotatedCSV loads a relation from CSV whose header carries
+// "name:role[:kind]" annotations.
+func ReadAnnotatedCSV(r io.Reader) (*Relation, error) { return relation.ReadAnnotatedCSV(r) }
+
+// WriteCSV writes a relation as CSV with a plain header.
+func WriteCSV(w io.Writer, rel *Relation) error { return relation.WriteCSV(w, rel) }
+
+// NewConstraint returns a single-attribute diversity constraint
+// (attr[value], lower, upper).
+func NewConstraint(attr, value string, lower, upper int) Constraint {
+	return constraint.New(attr, value, lower, upper)
+}
+
+// NewMultiConstraint returns a multi-attribute diversity constraint over
+// parallel attrs and values.
+func NewMultiConstraint(attrs, values []string, lower, upper int) Constraint {
+	return constraint.NewMulti(attrs, values, lower, upper)
+}
+
+// ParseConstraint parses "ATTR[value], lower, upper" (optionally several
+// ATTR[value] terms).
+func ParseConstraint(line string) (Constraint, error) { return constraint.Parse(line) }
+
+// ParseConstraints reads one constraint per line; '#' starts a comment.
+func ParseConstraints(r io.Reader) (Constraints, error) { return constraint.ParseSet(r) }
+
+// Options configures Anonymize.
+type Options struct {
+	// K is the privacy parameter: minimum QI-group size. Required, ≥ 1.
+	K int
+	// Strategy is the coloring node order; the zero value is Basic. The
+	// paper's best-performing strategy is MaxFanOut.
+	Strategy Strategy
+	// Seed makes the run reproducible. Two runs with equal inputs and
+	// seeds produce identical outputs.
+	Seed uint64
+	// MaxCandidates caps candidate clusterings per constraint (0 = 64).
+	MaxCandidates int
+	// MaxSteps caps coloring search steps (0 = 1,000,000).
+	MaxSteps int
+	// Baseline selects the off-the-shelf anonymizer for tuples outside the
+	// diverse clustering: "k-member" (default), "oka" or "mondrian".
+	Baseline string
+	// SampleCap bounds k-member's greedy candidate scans (0 = exact). The
+	// experiment harness uses 512 on large relations.
+	SampleCap int
+	// LDiversity, when ≥ 2, additionally requires distinct l-diversity:
+	// every QI-group of the output must carry at least LDiversity distinct
+	// values of every sensitive attribute.
+	LDiversity int
+	// Parallel, when > 0, runs that many concurrent coloring searches (a
+	// strategy portfolio) and takes the first result.
+	Parallel int
+	// Hierarchies, when non-nil, renders clusters by generalization: cells
+	// a cluster disagrees on lift to the least common ancestor of its
+	// values ("[30-39]") instead of ★. Attributes without a hierarchy fall
+	// back to suppression. Note Verify rejects generalized outputs (the
+	// strict R ⊑ R′ relation holds only under suppression); check them
+	// with IsKAnonymous, Constraints.SatisfiedBy and NCP instead.
+	Hierarchies Hierarchies
+}
+
+func (o Options) rng() *rand.Rand {
+	return rand.New(rand.NewPCG(o.Seed, o.Seed^0xda3e39cb94b95bdb))
+}
+
+func (o Options) partitioner(rng *rand.Rand) anon.Partitioner {
+	switch o.Baseline {
+	case "", "k-member", "kmember":
+		return &anon.KMember{Rng: rng, SampleCap: o.SampleCap}
+	case "oka", "OKA":
+		return &anon.OKA{Rng: rng}
+	case "mondrian", "Mondrian":
+		return &anon.Mondrian{}
+	default:
+		return nil
+	}
+}
+
+// Anonymize runs DIVA: it returns a k-anonymous relation R′ with R ⊑ R′
+// satisfying every constraint in sigma, with minimal suppression. It
+// returns an error wrapping ErrNoDiverseClustering when no such relation
+// exists.
+func Anonymize(rel *Relation, sigma Constraints, opts Options) (*Result, error) {
+	rng := opts.rng()
+	var crit privacy.Criterion
+	if opts.LDiversity >= 2 {
+		crit = privacy.DistinctLDiversity{L: opts.LDiversity}
+	}
+	var p anon.Partitioner
+	switch opts.Baseline {
+	case "", "k-member", "kmember":
+		p = &anon.KMember{Rng: rng, SampleCap: opts.SampleCap, Criterion: crit}
+	case "mondrian", "Mondrian":
+		p = &anon.Mondrian{Criterion: crit}
+	case "oka", "OKA":
+		if crit != nil {
+			return nil, &UnknownBaselineError{Name: opts.Baseline + " (OKA does not support l-diversity; use k-member or mondrian)"}
+		}
+		p = &anon.OKA{Rng: rng}
+	default:
+		return nil, &UnknownBaselineError{Name: opts.Baseline}
+	}
+	return core.Anonymize(rel, sigma, core.Options{
+		K:           opts.K,
+		Strategy:    opts.Strategy,
+		Rng:         rng,
+		Cluster:     cluster.Options{MaxCandidates: opts.MaxCandidates},
+		MaxSteps:    opts.MaxSteps,
+		Anonymizer:  p,
+		Criterion:   crit,
+		Parallel:    opts.Parallel,
+		Hierarchies: opts.Hierarchies,
+	})
+}
+
+// NewIntervalHierarchy builds a numeric generalization hierarchy over
+// [lo, hi]: level ℓ groups values into intervals of width base^ℓ, topped by
+// ★. See the hierarchy package for details.
+func NewIntervalHierarchy(attr string, lo, hi, base, levels int) (*Hierarchy, error) {
+	return hierarchy.Intervals(attr, lo, hi, base, levels)
+}
+
+// ParseHierarchy reads a categorical hierarchy from "child -> parent" lines
+// ('#' comments, ★ or "*" as the root).
+func ParseHierarchy(attr, text string) (*Hierarchy, error) {
+	return hierarchy.ParseTable(attr, text)
+}
+
+// NCP returns the normalized certainty penalty of rel under the given
+// hierarchies: the mean per-cell generalization loss over QI cells, in
+// [0, 1]. Without hierarchies it equals 1 − Accuracy.
+func NCP(rel *Relation, hs Hierarchies) float64 { return hierarchy.NCP(rel, hs) }
+
+// IsLDiverse reports whether every QI-group of rel carries at least l
+// distinct values of every sensitive attribute (distinct l-diversity).
+func IsLDiverse(rel *Relation, l int) bool {
+	ok, _ := privacy.Satisfies(rel, privacy.DistinctLDiversity{L: l})
+	return ok
+}
+
+// AnonymizeBaseline runs one of the classical k-anonymizers ("k-member",
+// "oka", "mondrian") over the whole relation without diversity constraints,
+// returning the suppressed k-anonymous relation.
+func AnonymizeBaseline(rel *Relation, baseline string, opts Options) (*Relation, error) {
+	rng := opts.rng()
+	o := opts
+	o.Baseline = baseline
+	p := o.partitioner(rng)
+	if p == nil {
+		return nil, &UnknownBaselineError{Name: baseline}
+	}
+	return core.RunBaseline(rel, p, opts.K)
+}
+
+// UnknownBaselineError reports an unrecognized baseline name.
+type UnknownBaselineError struct{ Name string }
+
+func (e *UnknownBaselineError) Error() string {
+	return "diva: unknown baseline algorithm " + e.Name + ` (want "k-member", "oka" or "mondrian")`
+}
+
+// Verify checks that res is a valid (k, Σ)-anonymization of orig: R ⊑ R′
+// up to reordering, k-anonymity, and R′ |= Σ.
+func Verify(orig *Relation, res *Result, sigma Constraints, k int) error {
+	return core.Verify(orig, res, sigma, k)
+}
+
+// IsKAnonymous reports whether every tuple lies in a QI-group of ≥ k tuples.
+func IsKAnonymous(rel *Relation, k int) bool { return metrics.IsKAnonymous(rel, k) }
+
+// SuppressionLoss returns the number of suppressed QI cells (★s).
+func SuppressionLoss(rel *Relation) int { return metrics.SuppressionLoss(rel) }
+
+// Accuracy returns the fraction of QI cells preserved, in [0, 1].
+func Accuracy(rel *Relation) float64 { return metrics.Accuracy(rel) }
+
+// Discernibility returns the Bayardo–Agrawal discernibility penalty.
+func Discernibility(rel *Relation, k int) int { return metrics.Discernibility(rel, k) }
+
+// ConflictRate returns cf(Σ) over rel: the mean pairwise target-tuple
+// overlap of the constraints, in [0, 1].
+func ConflictRate(rel *Relation, sigma Constraints) (float64, error) {
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		return 0, err
+	}
+	return constraint.SetConflict(rel, bounds), nil
+}

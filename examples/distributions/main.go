@@ -1,0 +1,61 @@
+// Distributions: how data skew affects diverse anonymization (the paper's
+// Figure 4d study, at example scale).
+//
+// The same population schema is generated under Zipfian, uniform and
+// Gaussian value distributions; DIVA runs with identical settings on each,
+// and the example reports accuracy per strategy. Uniform data spreads
+// domain values evenly and avoids contention among constraint target sets,
+// so it anonymizes most accurately; Zipfian data concentrates tuples on few
+// values and loses the most.
+//
+// Run with: go run ./examples/distributions [-rows 10000] [-k 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"text/tabwriter"
+
+	"diva"
+	"diva/internal/constraint"
+	"diva/internal/dataset"
+)
+
+func main() {
+	rows := flag.Int("rows", 10000, "population rows to generate per distribution")
+	k := flag.Int("k", 10, "privacy parameter")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "distribution\tMinChoice\tMaxFanOut\tBasic\t|Π_QI(R)|")
+
+	for _, dist := range []dataset.Distribution{dataset.Zipfian, dataset.Uniform, dataset.Gaussian} {
+		rel := dataset.PopSyn(dist).Generate(*rows, 4)
+		sigma, err := constraint.Proportional(rel, constraint.GenOptions{
+			Count: 8,
+			K:     *k,
+			Rng:   rand.New(rand.NewPCG(5, uint64(dist))),
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", dist, err)
+		}
+
+		accs := make([]string, 0, 3)
+		for _, strat := range []diva.Strategy{diva.MinChoice, diva.MaxFanOut, diva.Basic} {
+			res, err := diva.Anonymize(rel, sigma, diva.Options{
+				K: *k, Strategy: strat, Seed: 17, SampleCap: 512,
+			})
+			if err != nil {
+				accs = append(accs, "failed")
+				continue
+			}
+			accs = append(accs, fmt.Sprintf("%.4f", diva.Accuracy(res.Output)))
+		}
+		qi := rel.Schema().QIIndexes()
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\n", dist, accs[0], accs[1], accs[2], rel.DistinctCount(qi))
+	}
+	w.Flush()
+}

@@ -1,0 +1,57 @@
+package anon
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"diva/internal/dataset"
+)
+
+func BenchmarkPartitioners(b *testing.B) {
+	for _, rows := range []int{1000, 5000} {
+		rel := dataset.Census().Generate(rows, 7)
+		all := make([]int, rel.Len())
+		for i := range all {
+			all[i] = i
+		}
+		ps := []Partitioner{
+			&KMember{Rng: rand.New(rand.NewPCG(1, 2)), SampleCap: 256},
+			&OKA{Rng: rand.New(rand.NewPCG(1, 2))},
+			&Mondrian{},
+		}
+		for _, p := range ps {
+			b.Run(fmt.Sprintf("%s/rows=%d", p.Name(), rows), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					parts, err := p.Partition(rel, all, 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(parts) == 0 {
+						b.Fatal("no partitions")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKMemberExactVsSampled(b *testing.B) {
+	rel := dataset.Census().Generate(2000, 7)
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	for _, cap := range []int{0, 64, 512} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				km := &KMember{Rng: rand.New(rand.NewPCG(1, 2)), SampleCap: cap}
+				if _, err := km.Partition(rel, all, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package anon
+
+import (
+	"fmt"
+	"sort"
+
+	"diva/internal/privacy"
+	"diva/internal/relation"
+)
+
+// Mondrian implements the strict multidimensional partitioning of LeFevre,
+// DeWitt and Ramakrishnan (ICDE 2006): recursively split the partition on
+// the attribute with the widest normalized range at the median, as long as
+// both halves keep at least k records. Numeric attributes split at the
+// value median; categorical attributes split on the frequency-sorted value
+// order (the standard adaptation for domains without user-supplied
+// hierarchies).
+type Mondrian struct {
+	// Criterion, when non-nil, is an additional privacy requirement: a cut
+	// is allowable only when both halves satisfy it (this supports
+	// non-monotone criteria such as t-closeness, checked per partition).
+	// The whole input must satisfy the criterion or partitioning fails.
+	Criterion privacy.Criterion
+}
+
+// Name returns "Mondrian".
+func (m *Mondrian) Name() string { return "Mondrian" }
+
+// Partition implements Partitioner.
+func (m *Mondrian) Partition(rel *relation.Relation, rows []int, k int) ([][]int, error) {
+	if err := checkPartitionable(rows, k); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if m.Criterion != nil && !m.Criterion.Holds(rel, rows) {
+		return nil, fmt.Errorf("anon: the input itself violates %s; no partitioning can satisfy it", m.Criterion.Name())
+	}
+	d := newDistancer(rel, rows)
+	part := make([]int, len(rows))
+	copy(part, rows)
+	var out [][]int
+	m.split(rel, d, part, k, &out)
+	return out, nil
+}
+
+func (m *Mondrian) split(rel *relation.Relation, d *distancer, part []int, k int, out *[][]int) {
+	if len(part) >= 2*k {
+		// Try attributes in descending width order until one admits an
+		// allowable cut.
+		for _, ai := range m.attrsByWidth(rel, d, part) {
+			left, right, ok := m.cut(rel, d, part, ai)
+			if !ok || len(left) < k || len(right) < k {
+				continue
+			}
+			if m.Criterion != nil && (!m.Criterion.Holds(rel, left) || !m.Criterion.Holds(rel, right)) {
+				continue
+			}
+			m.split(rel, d, left, k, out)
+			m.split(rel, d, right, k, out)
+			return
+		}
+	}
+	*out = append(*out, part)
+}
+
+// attrsByWidth orders the QI attribute positions (indexes into d.qi) by
+// normalized width over the partition: numeric width is the value range
+// relative to the global range; categorical width is the number of distinct
+// values.
+func (m *Mondrian) attrsByWidth(rel *relation.Relation, d *distancer, part []int) []int {
+	type aw struct {
+		idx   int
+		width float64
+	}
+	ws := make([]aw, 0, len(d.qi))
+	for i, a := range d.qi {
+		var width float64
+		if d.numeric[i] {
+			lo, hi, ok := rel.NumericRange(a, part)
+			if ok {
+				width = (hi - lo) / d.span[i]
+			}
+		} else {
+			distinct := make(map[uint32]struct{})
+			for _, row := range part {
+				distinct[rel.Code(row, a)] = struct{}{}
+			}
+			width = float64(len(distinct)-1) / float64(maxInt(rel.Dict(a).Cardinality()-1, 1))
+		}
+		ws = append(ws, aw{idx: i, width: width})
+	}
+	sort.SliceStable(ws, func(x, y int) bool { return ws[x].width > ws[y].width })
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = w.idx
+	}
+	return out
+}
+
+// cut splits the partition at the median of attribute d.qi[ai]. ok is false
+// when the attribute has a single value in the partition.
+func (m *Mondrian) cut(rel *relation.Relation, d *distancer, part []int, ai int) (left, right []int, ok bool) {
+	a := d.qi[ai]
+	sorted := make([]int, len(part))
+	copy(sorted, part)
+	if d.numeric[ai] {
+		sort.SliceStable(sorted, func(x, y int) bool {
+			vx, _ := rel.NumericValue(a, rel.Code(sorted[x], a))
+			vy, _ := rel.NumericValue(a, rel.Code(sorted[y], a))
+			return vx < vy
+		})
+	} else {
+		// Frequency-sorted value order gives balanced categorical cuts.
+		freq := make(map[uint32]int)
+		for _, row := range part {
+			freq[rel.Code(row, a)]++
+		}
+		sort.SliceStable(sorted, func(x, y int) bool {
+			cx, cy := rel.Code(sorted[x], a), rel.Code(sorted[y], a)
+			if freq[cx] != freq[cy] {
+				return freq[cx] > freq[cy]
+			}
+			return cx < cy
+		})
+	}
+	// Median cut that respects value boundaries: all records with the same
+	// value stay on the same side. Prefer the boundary at or after the
+	// median; fall back to the one before it.
+	mid := len(sorted) / 2
+	cut := -1
+	for i := mid; i < len(sorted); i++ {
+		if rel.Code(sorted[i], a) != rel.Code(sorted[i-1], a) {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		for i := mid; i >= 1; i-- {
+			if rel.Code(sorted[i], a) != rel.Code(sorted[i-1], a) {
+				cut = i
+				break
+			}
+		}
+	}
+	if cut <= 0 || cut >= len(sorted) {
+		return nil, nil, false
+	}
+	return sorted[:cut], sorted[cut:], true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+package anon
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"diva/internal/relation"
+)
+
+// OKA implements the One-pass K-means Algorithm of Lin and Wei (PAIS 2008):
+// seed ⌊n/k⌋ clusters with random records, make a single assignment pass in
+// sorted record order (each record joins its nearest cluster, centroids
+// update immediately), then run the adjustment stage moving records from
+// overfull clusters (> k members) into underfull ones (< k members) until
+// every cluster has at least k records.
+type OKA struct {
+	// Rng drives the random seeding. Required.
+	Rng *rand.Rand
+}
+
+// Name returns "OKA".
+func (o *OKA) Name() string { return "OKA" }
+
+// okaCluster keeps per-attribute value frequencies so that the distance of
+// a record to the cluster centroid is computable for categorical attributes
+// (fraction of members that disagree) and numeric attributes (normalized
+// distance to the mean).
+type okaCluster struct {
+	members []int
+	freq    []map[uint32]int // per QI attr position
+	numSum  []float64        // per QI attr position, numeric attributes only
+	numCnt  []int
+}
+
+func (o *OKA) newCluster(nQI int) *okaCluster {
+	c := &okaCluster{
+		freq:   make([]map[uint32]int, nQI),
+		numSum: make([]float64, nQI),
+		numCnt: make([]int, nQI),
+	}
+	for i := range c.freq {
+		c.freq[i] = make(map[uint32]int)
+	}
+	return c
+}
+
+func (c *okaCluster) add(rel *relation.Relation, d *distancer, row int) {
+	c.members = append(c.members, row)
+	r := rel.Row(row)
+	for i, a := range d.qi {
+		c.freq[i][r[a]]++
+		if d.numeric[i] {
+			if v, ok := rel.NumericValue(a, r[a]); ok {
+				c.numSum[i] += v
+				c.numCnt[i]++
+			}
+		}
+	}
+}
+
+func (c *okaCluster) remove(rel *relation.Relation, d *distancer, pos int) int {
+	row := c.members[pos]
+	c.members[pos] = c.members[len(c.members)-1]
+	c.members = c.members[:len(c.members)-1]
+	r := rel.Row(row)
+	for i, a := range d.qi {
+		c.freq[i][r[a]]--
+		if d.numeric[i] {
+			if v, ok := rel.NumericValue(a, r[a]); ok {
+				c.numSum[i] -= v
+				c.numCnt[i]--
+			}
+		}
+	}
+	return row
+}
+
+// dist measures record-to-centroid distance.
+func (c *okaCluster) dist(rel *relation.Relation, d *distancer, row int) float64 {
+	n := len(c.members)
+	if n == 0 {
+		return 0
+	}
+	r := rel.Row(row)
+	total := 0.0
+	for i, a := range d.qi {
+		if d.numeric[i] && c.numCnt[i] > 0 {
+			if v, ok := rel.NumericValue(a, r[a]); ok {
+				mean := c.numSum[i] / float64(c.numCnt[i])
+				diff := v - mean
+				if diff < 0 {
+					diff = -diff
+				}
+				total += diff / d.span[i]
+				continue
+			}
+		}
+		agree := c.freq[i][r[a]]
+		total += 1 - float64(agree)/float64(n)
+	}
+	return total
+}
+
+// Partition implements Partitioner.
+func (o *OKA) Partition(rel *relation.Relation, rows []int, k int) ([][]int, error) {
+	if err := checkPartitionable(rows, k); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	d := newDistancer(rel, rows)
+	nClusters := len(rows) / k
+	if nClusters < 1 {
+		nClusters = 1
+	}
+
+	// Seeding: nClusters distinct random records.
+	order := make([]int, len(rows))
+	copy(order, rows)
+	o.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	clusters := make([]*okaCluster, nClusters)
+	for i := 0; i < nClusters; i++ {
+		clusters[i] = o.newCluster(len(d.qi))
+		clusters[i].add(rel, d, order[i])
+	}
+
+	// One pass in sorted record order: each remaining record joins the
+	// nearest cluster.
+	rest := make([]int, len(order)-nClusters)
+	copy(rest, order[nClusters:])
+	sort.Slice(rest, func(x, y int) bool {
+		rx, ry := rel.Row(rest[x]), rel.Row(rest[y])
+		for _, a := range d.qi {
+			if rx[a] != ry[a] {
+				return rx[a] < ry[a]
+			}
+		}
+		return rest[x] < rest[y]
+	})
+	for _, row := range rest {
+		bestIdx, bestDist := 0, clusters[0].dist(rel, d, row)
+		for i := 1; i < nClusters; i++ {
+			if dist := clusters[i].dist(rel, d, row); dist < bestDist {
+				bestDist, bestIdx = dist, i
+			}
+		}
+		clusters[bestIdx].add(rel, d, row)
+	}
+
+	// Adjustment: drain overfull clusters into underfull ones.
+	var donors, takers []*okaCluster
+	for _, c := range clusters {
+		switch {
+		case len(c.members) > k:
+			donors = append(donors, c)
+		case len(c.members) < k:
+			takers = append(takers, c)
+		}
+	}
+	for _, taker := range takers {
+		for len(taker.members) < k {
+			// Take from the donor with the most surplus the record farthest
+			// from the donor's centroid.
+			var donor *okaCluster
+			for _, c := range donors {
+				if len(c.members) > k && (donor == nil || len(c.members) > len(donor.members)) {
+					donor = c
+				}
+			}
+			if donor == nil {
+				break // no surplus anywhere; merge below
+			}
+			farPos, farDist := 0, -1.0
+			for pos, row := range donor.members {
+				if dist := donor.dist(rel, d, row); dist > farDist {
+					farDist, farPos = dist, pos
+				}
+			}
+			taker.add(rel, d, donor.remove(rel, d, farPos))
+		}
+	}
+
+	// Any cluster still below k (no surplus available) merges into its
+	// nearest ≥ k cluster.
+	var out [][]int
+	var small []*okaCluster
+	for _, c := range clusters {
+		if len(c.members) >= k {
+			out = append(out, c.members)
+		} else if len(c.members) > 0 {
+			small = append(small, c)
+		}
+	}
+	if len(out) == 0 {
+		// Degenerate: merge everything into a single cluster.
+		var all []int
+		for _, c := range clusters {
+			all = append(all, c.members...)
+		}
+		return [][]int{all}, nil
+	}
+	for _, c := range small {
+		for _, row := range c.members {
+			bestIdx, bestDist := 0, d.dist(out[0][0], row)
+			for i := 1; i < len(out); i++ {
+				if dist := d.dist(out[i][0], row); dist < bestDist {
+					bestDist, bestIdx = dist, i
+				}
+			}
+			out[bestIdx] = append(out[bestIdx], row)
+		}
+	}
+	return out, nil
+}

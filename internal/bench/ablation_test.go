@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationCandidateCapSmoke(t *testing.T) {
+	table, err := AblationCandidateCap(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	// Accuracy must be non-decreasing in the budget, modulo small noise.
+	prev := -1.0
+	for _, row := range table.Rows {
+		acc := row.Values[0]
+		if math.IsNaN(acc) {
+			t.Fatalf("cap %s failed", row.X)
+		}
+		if acc < prev-0.05 {
+			t.Fatalf("accuracy dropped sharply with larger budget: %v after %v", acc, prev)
+		}
+		prev = acc
+	}
+}
+
+func TestAblationSampleCapSmoke(t *testing.T) {
+	table, err := AblationSampleCap(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	// The exact run (last row, cap 0) must beat the smallest cap.
+	small := table.Rows[0].Values[0]
+	exact := table.Rows[len(table.Rows)-1].Values[0]
+	if exact <= small {
+		t.Fatalf("exact accuracy %v not above cap-32 accuracy %v", exact, small)
+	}
+}
+
+func TestAblationParallelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pantheon relation five times")
+	}
+	table, err := AblationParallel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if math.IsNaN(row.Values[0]) {
+			t.Fatalf("%s failed", row.X)
+		}
+	}
+}

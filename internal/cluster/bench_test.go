@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"diva/internal/constraint"
+	"diva/internal/dataset"
+)
+
+func BenchmarkCandidates(b *testing.B) {
+	for _, rows := range []int{2000, 20000} {
+		rel := dataset.PopSyn(dataset.Zipfian).Generate(rows, 3)
+		eth, _ := rel.Schema().Index("ETH")
+		// The most frequent ethnicity gives the largest target set.
+		var best uint32
+		bestN := 0
+		for code, n := range rel.ValueFrequencies(eth) {
+			if n > bestN {
+				best, bestN = code, n
+			}
+		}
+		value := rel.Dict(eth).Value(best)
+		c := constraint.New("ETH", value, bestN/10, bestN)
+		bound, err := c.Bound(rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := NewEnumerator(rel, bound, Options{K: 10})
+		b.Run(fmt.Sprintf("rows=%d/target=%d", rows, bestN), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(e.Candidates(nil)) == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCandidatesWithExclusions(b *testing.B) {
+	rel := dataset.PopSyn(dataset.Uniform).Generate(20000, 3)
+	gen, _ := rel.Schema().Index("GEN")
+	code, _ := rel.Dict(gen).Lookup("Male")
+	n := rel.Count(gen, code)
+	bound, err := constraint.New("GEN", "Male", n/10, n).Bound(rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEnumerator(rel, bound, Options{K: 10})
+	used := func(row int) bool { return row%3 == 0 } // a third of rows taken
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(e.Candidates(used)) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package cluster implements the Clusterings(σ, R) routine of the DIVA
+// algorithm: enumerating candidate clusterings whose suppression satisfies a
+// single diversity constraint (Definition 3.2 of the paper).
+//
+// A candidate clustering S for σ = (X[t], λl, λr) consists of disjoint
+// clusters of tuples drawn from the target set Iσ (the tuples of R holding
+// the target values, so the target values survive suppression), each cluster
+// holding at least k tuples (so it becomes a QI-group), with the total
+// number of tuples — the preserved occurrences — within [λl, λr].
+//
+// The full candidate space is exponential; following the paper's polynomial
+// bound, candidates are enumerated as contiguous windows over Iσ sorted by
+// QI similarity, plus pairwise compositions of disjoint windows, capped at a
+// configurable budget and ordered by increasing suppression cost so the
+// search tries cheap clusterings first.
+//
+// The coloring search recomputes candidates as rows are claimed by other
+// constraints ("we update the candidate clusterings for their neighbors",
+// Section 3.3): Enumerator.Candidates takes the set of rows already in use
+// and enumerates over the remaining target rows only, so returned clusters
+// never collide with active ones.
+package cluster
+
+import (
+	"sort"
+
+	"diva/internal/constraint"
+	"diva/internal/privacy"
+	"diva/internal/relation"
+)
+
+// Clustering is a set of disjoint clusters, each a sorted slice of row
+// indexes into the underlying relation.
+type Clustering [][]int
+
+// Tuples returns the total number of tuples across all clusters.
+func (s Clustering) Tuples() int {
+	n := 0
+	for _, c := range s {
+		n += len(c)
+	}
+	return n
+}
+
+// Rows returns all row indexes across all clusters, sorted ascending.
+func (s Clustering) Rows() []int {
+	out := make([]int, 0, s.Tuples())
+	for _, c := range s {
+		out = append(out, c...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClusterKey returns a canonical identity string for one sorted cluster,
+// used for the "disjoint unless equal" consistency rule.
+func ClusterKey(c []int) string {
+	buf := make([]byte, 0, len(c)*4)
+	for _, i := range c {
+		buf = append(buf, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+	}
+	return string(buf)
+}
+
+// Options bounds the candidate enumeration.
+type Options struct {
+	// K is the privacy parameter: every cluster must hold at least K tuples.
+	K int
+	// MaxCandidates caps the number of clusterings returned per constraint.
+	// Zero means the default of 64.
+	MaxCandidates int
+	// MaxWindowSizes caps how many distinct cluster sizes are explored above
+	// the minimum. Zero means the default of 8.
+	MaxWindowSizes int
+	// Criterion, when non-nil, is an additional privacy requirement every
+	// candidate cluster must satisfy (e.g. distinct l-diversity); see the
+	// privacy package.
+	Criterion privacy.Criterion
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 64
+	}
+	if o.MaxWindowSizes == 0 {
+		o.MaxWindowSizes = 8
+	}
+	if o.K < 1 {
+		o.K = 1
+	}
+	return o
+}
+
+// Enumerator produces candidate clusterings for one constraint. The target
+// rows are sorted once by QI similarity at construction; every Candidates
+// call filters them against the rows currently in use and enumerates windows
+// over the remainder.
+type Enumerator struct {
+	rel  *relation.Relation
+	b    *constraint.Bound
+	opts Options
+	qi   []int
+	// sorted is Iσ ordered lexicographically by QI code vector, so similar
+	// tuples are adjacent and contiguous windows are cheap clusters.
+	sorted []int
+}
+
+// NewEnumerator prepares candidate enumeration for b over rel.
+func NewEnumerator(rel *relation.Relation, b *constraint.Bound, opts Options) *Enumerator {
+	opts = opts.withDefaults()
+	e := &Enumerator{rel: rel, b: b, opts: opts, qi: rel.Schema().QIIndexes()}
+	// The pool is the rows matching the target's QI components: a cluster
+	// preserves occurrences iff it is uniform on those (mixed targets
+	// count their sensitive components per row within the cluster).
+	target := b.TargetQIRows(rel)
+	e.sorted = make([]int, len(target))
+	copy(e.sorted, target)
+	sort.Slice(e.sorted, func(x, y int) bool {
+		rx, ry := rel.Row(e.sorted[x]), rel.Row(e.sorted[y])
+		for _, a := range e.qi {
+			if rx[a] != ry[a] {
+				return rx[a] < ry[a]
+			}
+		}
+		return e.sorted[x] < e.sorted[y]
+	})
+	return e
+}
+
+// TargetSize returns |Iσ|.
+func (e *Enumerator) TargetSize() int { return len(e.sorted) }
+
+// Candidates enumerates candidate clusterings over the target rows for
+// which used returns false (used == nil means all target rows are
+// available), ordered by increasing suppression cost, then by fewer tuples.
+// The empty clustering is included (first) iff the constraint's lower bound
+// is zero. An empty result means no clustering within the enumeration
+// budget satisfies the constraint on the available rows.
+func (e *Enumerator) Candidates(used func(row int) bool) []Clustering {
+	var out []Clustering
+	if e.b.Lower == 0 {
+		out = append(out, Clustering{})
+	}
+
+	avail := e.sorted
+	if used != nil {
+		avail = make([]int, 0, len(e.sorted))
+		for _, row := range e.sorted {
+			if !used(row) {
+				avail = append(avail, row)
+			}
+		}
+	}
+
+	m := len(avail)
+
+	// Prefix full-match counts: fm[i] counts rows in avail[:i] holding the
+	// complete target (QI and sensitive components). A window [lo, hi)
+	// preserves fm[hi] − fm[lo] occurrences. For targets without sensitive
+	// components every pool row matches and preserved == window size.
+	fm := make([]int, m+1)
+	for i, row := range avail {
+		fm[i+1] = fm[i]
+		if e.b.Matches(e.rel.Row(row)) {
+			fm[i+1]++
+		}
+	}
+	mixed := fm[m] < m
+	preserved := func(lo, hi int) int { return fm[hi] - fm[lo] }
+
+	minSize := e.b.Lower
+	if minSize < e.opts.K {
+		minSize = e.opts.K
+	}
+	maxSize := e.b.Upper
+	if mixed {
+		// Mixed targets dilute occurrences with non-matching pool rows, so
+		// windows may exceed the upper bound in *size* while staying within
+		// it in preserved occurrences.
+		maxSize = e.b.Upper + e.b.Upper + e.opts.K
+	}
+	if maxSize > m {
+		maxSize = m
+	}
+	if minSize > maxSize || fm[m] < e.b.Lower {
+		return out // only the empty clustering (if any) is possible
+	}
+
+	// Prefix change counts: chg[a][i] counts positions j in (0, i] where
+	// avail[j] and avail[j-1] differ on QI attribute a. A window [lo, hi)
+	// is uniform on a iff chg[a][hi-1] == chg[a][lo]. This makes window
+	// suppression costs O(|QI|) each after an O(m·|QI|) scan.
+	chg := make([][]int32, len(e.qi))
+	for ai, a := range e.qi {
+		col := make([]int32, m)
+		for i := 1; i < m; i++ {
+			col[i] = col[i-1]
+			if e.rel.Code(avail[i], a) != e.rel.Code(avail[i-1], a) {
+				col[i]++
+			}
+		}
+		chg[ai] = col
+	}
+	// cost of window [lo, hi): per non-uniform QI attribute the whole
+	// cluster loses that column.
+	cost := func(lo, hi int) int {
+		size := hi - lo
+		c := 0
+		for ai := range e.qi {
+			if chg[ai][hi-1] != chg[ai][lo] {
+				c += size
+			}
+		}
+		return c
+	}
+
+	type scored struct {
+		lo1, hi1 int
+		lo2, hi2 int // second window; hi2 == 0 means single-cluster
+		cost     int
+	}
+	var cands []scored
+	rawBudget := e.opts.MaxCandidates * 4
+
+	// Single-cluster windows, smallest (most minimal) sizes first.
+	inRange := func(lo, hi int) bool {
+		p := preserved(lo, hi)
+		return p >= e.b.Lower && p <= e.b.Upper
+	}
+	sizes := windowSizes(minSize, maxSize, e.opts.MaxWindowSizes)
+	for _, s := range sizes {
+		nWindows := m - s + 1
+		if nWindows <= 0 {
+			continue
+		}
+		perSize := rawBudget / len(sizes)
+		if perSize < 1 {
+			perSize = 1
+		}
+		stride := 1
+		if nWindows > perSize {
+			stride = nWindows / perSize
+		}
+		for lo := 0; lo+s <= m; lo += stride {
+			if !inRange(lo, lo+s) {
+				continue
+			}
+			cands = append(cands, scored{lo1: lo, hi1: lo + s, cost: cost(lo, lo+s)})
+			if len(cands) >= rawBudget {
+				break
+			}
+		}
+		if len(cands) >= rawBudget {
+			break
+		}
+	}
+
+	// Mixed targets: stride sampling can skip past the sparse full-match
+	// rows, so additionally anchor windows of the minimal size on each
+	// matching row (capped by the budget).
+	if mixed && maxSize >= minSize {
+		budget := e.opts.MaxCandidates
+		for i := 0; i < m && budget > 0; i++ {
+			if fm[i+1] == fm[i] {
+				continue
+			}
+			lo := i - minSize/2
+			if lo+minSize > m {
+				lo = m - minSize
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			if inRange(lo, lo+minSize) {
+				cands = append(cands, scored{lo1: lo, hi1: lo + minSize, cost: cost(lo, lo+minSize)})
+				budget--
+			}
+		}
+	}
+
+	// Pairwise compositions: two disjoint windows of size k (the minimal
+	// legal cluster) or larger whose total lands within [λl, λr]. These
+	// matter when splitting one large cluster into two tighter ones reduces
+	// suppression and give the search more options under conflicts.
+	if maxSize >= 2*e.opts.K && m >= 2*e.opts.K {
+		base := e.baseWindows(m, cost)
+		budget := e.opts.MaxCandidates
+	pairing:
+		for i := 0; i < len(base); i++ {
+			for j := i + 1; j < len(base); j++ {
+				wi, wj := base[i], base[j]
+				if wi.hi1 > wj.lo1 && wj.hi1 > wi.lo1 {
+					continue // overlapping ranges
+				}
+				total := preserved(wi.lo1, wi.hi1) + preserved(wj.lo1, wj.hi1)
+				if total < e.b.Lower || total > e.b.Upper {
+					continue
+				}
+				cands = append(cands, scored{
+					lo1: wi.lo1, hi1: wi.hi1,
+					lo2: wj.lo1, hi2: wj.hi1,
+					cost: wi.cost + wj.cost,
+				})
+				budget--
+				if budget == 0 {
+					break pairing
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(cands, func(x, y int) bool {
+		if cands[x].cost != cands[y].cost {
+			return cands[x].cost < cands[y].cost
+		}
+		sx := (cands[x].hi1 - cands[x].lo1) + (cands[x].hi2 - cands[x].lo2)
+		sy := (cands[y].hi1 - cands[y].lo1) + (cands[y].hi2 - cands[y].lo2)
+		return sx < sy
+	})
+
+	seen := make(map[[4]int]bool, len(cands))
+	for _, c := range cands {
+		key := [4]int{c.lo1, c.hi1, c.lo2, c.hi2}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s := Clustering{materialize(avail, c.lo1, c.hi1)}
+		if c.hi2 > 0 {
+			s = append(s, materialize(avail, c.lo2, c.hi2))
+		}
+		if crit := e.opts.Criterion; crit != nil && !clusteringHolds(e.rel, crit, s) {
+			continue
+		}
+		out = append(out, s)
+		if len(out) >= e.opts.MaxCandidates {
+			break
+		}
+	}
+	return out
+}
+
+// clusteringHolds reports whether every cluster satisfies the criterion.
+func clusteringHolds(rel *relation.Relation, crit privacy.Criterion, s Clustering) bool {
+	for _, c := range s {
+		if !crit.Holds(rel, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// baseWindows gathers the cheapest windows of exactly size K for pairwise
+// composition.
+func (e *Enumerator) baseWindows(m int, cost func(lo, hi int) int) []scoredWindow {
+	k := e.opts.K
+	nWindows := m - k + 1
+	if nWindows <= 0 {
+		return nil
+	}
+	budget := e.opts.MaxCandidates
+	stride := 1
+	if nWindows > budget*2 {
+		stride = nWindows / (budget * 2)
+	}
+	var ws []scoredWindow
+	for lo := 0; lo+k <= m; lo += stride {
+		ws = append(ws, scoredWindow{lo1: lo, hi1: lo + k, cost: cost(lo, lo+k)})
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].cost != ws[j].cost {
+			return ws[i].cost < ws[j].cost
+		}
+		return ws[i].lo1 < ws[j].lo1
+	})
+	if len(ws) > budget {
+		ws = ws[:budget]
+	}
+	return ws
+}
+
+type scoredWindow struct {
+	lo1, hi1 int
+	cost     int
+}
+
+func materialize(avail []int, lo, hi int) []int {
+	c := make([]int, hi-lo)
+	copy(c, avail[lo:hi])
+	sort.Ints(c)
+	return c
+}
+
+// windowSizes picks the cluster sizes to explore: all sizes from min to max
+// if few, otherwise dense near the minimum (minimal clusterings first) plus
+// a spread up to the maximum.
+func windowSizes(minSize, maxSize, budget int) []int {
+	if maxSize-minSize+1 <= budget {
+		sizes := make([]int, 0, maxSize-minSize+1)
+		for s := minSize; s <= maxSize; s++ {
+			sizes = append(sizes, s)
+		}
+		return sizes
+	}
+	sizes := make([]int, 0, budget)
+	dense := budget / 2
+	for s := minSize; s < minSize+dense; s++ {
+		sizes = append(sizes, s)
+	}
+	rest := budget - dense
+	span := maxSize - (minSize + dense)
+	for i := 1; i <= rest; i++ {
+		sizes = append(sizes, minSize+dense+span*i/rest)
+	}
+	return sizes
+}
+
+// Candidates enumerates candidates for b over rel with all target rows
+// available. It is shorthand for NewEnumerator(rel, b, opts).Candidates(nil).
+func Candidates(rel *relation.Relation, b *constraint.Bound, opts Options) []Clustering {
+	return NewEnumerator(rel, b, opts).Candidates(nil)
+}

@@ -1,0 +1,185 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"diva/internal/relation"
+)
+
+func patientRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "GEN", Role: relation.QI},
+		relation.Attribute{Name: "ETH", Role: relation.QI},
+		relation.Attribute{Name: "CTY", Role: relation.QI},
+		relation.Attribute{Name: "DIAG", Role: relation.Sensitive},
+	)
+	rel := relation.New(schema)
+	rows := [][]string{
+		{"Female", "Caucasian", "Calgary", "Hypertension"},
+		{"Female", "Caucasian", "Calgary", "Tuberculosis"},
+		{"Male", "Caucasian", "Calgary", "Osteoarthritis"},
+		{"Male", "African", "Winnipeg", "Hypertension"},
+		{"Male", "African", "Vancouver", "Seizure"},
+		{"Female", "Asian", "Vancouver", "Seizure"},
+		{"Female", "Asian", "Winnipeg", "Influenza"},
+		{"Female", "Asian", "Vancouver", "Migraine"},
+	}
+	for _, r := range rows {
+		rel.MustAppendValues(r...)
+	}
+	return rel
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Constraint
+		ok   bool
+	}{
+		{"single", New("ETH", "Asian", 2, 5), true},
+		{"multi", NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 1, 2), true},
+		{"zero lower", New("ETH", "Asian", 0, 5), true},
+		{"no attrs", Constraint{Lower: 1, Upper: 2}, false},
+		{"arity mismatch", Constraint{Attrs: []string{"A", "B"}, Values: []string{"x"}, Lower: 1, Upper: 2}, false},
+		{"dup attrs", NewMulti([]string{"A", "A"}, []string{"x", "y"}, 1, 2), false},
+		{"empty attr", New("", "x", 1, 2), false},
+		{"star value", New("ETH", relation.Star, 1, 2), false},
+		{"negative lower", New("ETH", "Asian", -1, 2), false},
+		{"inverted bounds", New("ETH", "Asian", 5, 2), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestBoundCountAndSatisfaction(t *testing.T) {
+	rel := patientRelation(t)
+	cases := []struct {
+		c         Constraint
+		count     int
+		satisfied bool
+	}{
+		{New("ETH", "Asian", 2, 5), 3, true},
+		{New("ETH", "Asian", 4, 9), 3, false},
+		{New("ETH", "Asian", 1, 2), 3, false},
+		{New("ETH", "African", 2, 2), 2, true},
+		{NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 2, 2), 2, true},
+		{New("DIAG", "Hypertension", 2, 2), 2, true},
+		{New("ETH", "Martian", 0, 3), 0, true},  // unseen value, lower 0
+		{New("ETH", "Martian", 1, 3), 0, false}, // unseen value, lower 1
+	}
+	for _, tc := range cases {
+		b, err := tc.c.Bound(rel)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.c, err)
+		}
+		if got := b.CountIn(rel); got != tc.count {
+			t.Errorf("%s: CountIn = %d, want %d", tc.c, got, tc.count)
+		}
+		if got := b.SatisfiedBy(rel); got != tc.satisfied {
+			t.Errorf("%s: SatisfiedBy = %t, want %t", tc.c, got, tc.satisfied)
+		}
+	}
+}
+
+func TestBoundUnknownAttribute(t *testing.T) {
+	rel := patientRelation(t)
+	if _, err := New("NOPE", "x", 1, 2).Bound(rel); err == nil {
+		t.Fatal("unknown attribute bound successfully")
+	}
+}
+
+func TestTargetRows(t *testing.T) {
+	rel := patientRelation(t)
+	b, err := New("ETH", "Asian", 2, 5).Bound(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := b.TargetRows(rel)
+	want := []int{5, 6, 7}
+	if len(rows) != len(want) {
+		t.Fatalf("TargetRows = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("TargetRows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestSuppressionRemovesOccurrences(t *testing.T) {
+	rel := patientRelation(t)
+	b, _ := New("ETH", "Asian", 2, 5).Bound(rel)
+	eth, _ := rel.Schema().Index("ETH")
+	rel.Suppress(5, eth)
+	if got := b.CountIn(rel); got != 2 {
+		t.Fatalf("after suppression CountIn = %d, want 2", got)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	good := Set{New("ETH", "Asian", 2, 5), New("ETH", "African", 1, 3)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := Set{New("ETH", "Asian", 2, 5), New("ETH", "Asian", 1, 3)}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate targets accepted")
+	}
+	bad := Set{New("ETH", "Asian", 5, 2)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid member accepted")
+	}
+}
+
+func TestSetSatisfiedByAndViolations(t *testing.T) {
+	rel := patientRelation(t)
+	sigma := Set{
+		New("ETH", "Asian", 2, 5),
+		New("ETH", "African", 3, 5), // only 2 occurrences: violated (low)
+		New("CTY", "Calgary", 1, 2), // 3 occurrences: violated (high)
+	}
+	ok, err := sigma.SatisfiedBy(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("violated set reported satisfied")
+	}
+	viol, err := sigma.Violations(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 2 {
+		t.Fatalf("violations = %v", viol)
+	}
+	if !strings.Contains(viol[0], "below lower bound") || !strings.Contains(viol[1], "above upper bound") {
+		t.Fatalf("violation text: %v", viol)
+	}
+}
+
+func TestKeyNormalization(t *testing.T) {
+	a := NewMulti([]string{"X", "Y"}, []string{"1", "2"}, 0, 5)
+	b := NewMulti([]string{"Y", "X"}, []string{"2", "1"}, 3, 4)
+	if a.Key() != b.Key() {
+		t.Fatal("order-insensitive keys differ")
+	}
+	c := NewMulti([]string{"X", "Y"}, []string{"2", "1"}, 0, 5)
+	if a.Key() == c.Key() {
+		t.Fatal("different targets share a key")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 1, 3)
+	if got := c.String(); got != "ETH[Asian] CTY[Vancouver], 1, 3" {
+		t.Fatalf("String = %q", got)
+	}
+}

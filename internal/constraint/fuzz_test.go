@@ -1,0 +1,61 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that accepted constraints
+// are valid and re-parse to themselves (run with `go test -fuzz=FuzzParse`;
+// the seed corpus runs under plain `go test`).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"ETH[Asian], 2, 5",
+		"(ETH[Asian], 2, 5)",
+		"A[x] B[y], 0, 10",
+		"A[v,w], 1, 1",
+		"",
+		"garbage",
+		"A[], 1, 2",
+		"A[x], -3, 5",
+		"A[x], 5, 2",
+		"[x], 1, 2",
+		"A[x] , 00 , 007",
+		strings.Repeat("A[x] ", 50) + ", 1, 2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		c, err := Parse(line)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid constraint: %v", line, verr)
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", line, c.String(), err)
+		}
+		if back.String() != c.String() {
+			t.Fatalf("round trip drifted: %q vs %q", back.String(), c.String())
+		}
+	})
+}
+
+// FuzzParseSet checks multi-line parsing never panics and respects
+// duplicate rejection.
+func FuzzParseSet(f *testing.F) {
+	f.Add("ETH[Asian], 2, 5\nCTY[Vancouver], 1, 3\n")
+	f.Add("# comment\n\nA[x], 1, 2\n")
+	f.Add("A[x], 1, 2\nA[x], 3, 4\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		set, err := ParseSet(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if verr := set.Validate(); verr != nil {
+			t.Fatalf("ParseSet accepted an invalid set: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"diva/internal/relation"
+)
+
+// GenOptions configures the constraint workload generators.
+type GenOptions struct {
+	// Attrs restricts target attributes to the named ones. Empty means all
+	// categorical QI attributes of the relation.
+	Attrs []string
+	// Count is the number of constraints to generate (|Σ|).
+	Count int
+	// K is the privacy parameter the constraints must remain feasible for:
+	// with cluster-based suppression a constraint over QI attributes can
+	// only be satisfied by preserving at least one cluster of ≥ K tuples,
+	// so generated upper bounds are at least K and targets with fewer than
+	// K occurrences are skipped.
+	K int
+	// Slack is the half-width of the frequency range relative to the
+	// anchor count: bounds are [anchor·(1−Slack), anchor·(1+Slack)].
+	// Defaults to 0.5 when zero.
+	Slack float64
+	// Coverage is the fraction of a target value's occurrences that the
+	// proportional generators demand survive anonymization (the lower
+	// bound anchor, floored at K). Defaults to 0.1 when zero: a
+	// representation floor, not a reconstruction demand — with heavily
+	// overlapping targets, demanding large fractions of every value makes
+	// the (k, Σ)-instance unsatisfiable outright.
+	Coverage float64
+	// UpperFrac is the fraction of a target value's occurrences allowed to
+	// survive (the upper bound), putting mild pressure on the Integrate
+	// repair. Defaults to 0.9 when zero; set to 1 for no upper pressure.
+	UpperFrac float64
+	// MinSupport skips target values occurring fewer than this many times.
+	// Defaults to max(K, 2).
+	MinSupport int
+	// Rng drives all random choices. Required.
+	Rng *rand.Rand
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.Slack == 0 {
+		o.Slack = 0.5
+	}
+	if o.Coverage == 0 {
+		o.Coverage = 0.1
+	}
+	if o.UpperFrac == 0 {
+		o.UpperFrac = 0.9
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = o.K
+		if o.MinSupport < 2 {
+			o.MinSupport = 2
+		}
+	}
+	return o
+}
+
+func (o GenOptions) coverageBounds(freq int) (int, int) {
+	return CoverageBounds(freq, o.K, o.Coverage, o.UpperFrac)
+}
+
+// CoverageBounds converts a value frequency into the [λl, λr] range of the
+// coverage model: preserve at least max(k, coverage·freq) and at most
+// upperFrac·freq occurrences, clamped to feasibility (λl ≤ freq, λr ≥ λl,
+// λr ≥ k so a preserved cluster of k tuples stays legal).
+func CoverageBounds(freq, k int, coverage, upperFrac float64) (int, int) {
+	lo := int(math.Ceil(coverage * float64(freq)))
+	if lo < k {
+		lo = k
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if lo > freq {
+		lo = freq
+	}
+	hi := int(math.Ceil(upperFrac * float64(freq)))
+	if hi < k {
+		hi = k
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// candidate is a target value with its frequency, used by the generators.
+type candidate struct {
+	attr  string
+	value string
+	freq  int
+}
+
+// collectCandidates lists (attribute, value, frequency) triples for the
+// requested attributes, sorted by descending frequency then attribute and
+// value for determinism. By default every QI attribute contributes —
+// including bucketed numeric ones, whose bucket boundaries are legitimate
+// characteristic values; truly continuous attributes contribute nothing in
+// practice because their support-1 values fall under MinSupport.
+func collectCandidates(rel *relation.Relation, attrs []string, minSupport int) ([]candidate, error) {
+	schema := rel.Schema()
+	var idxs []int
+	if len(attrs) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			if schema.Attr(i).Role == relation.QI {
+				idxs = append(idxs, i)
+			}
+		}
+	} else {
+		for _, name := range attrs {
+			i, ok := schema.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("constraint: attribute %q not in schema", name)
+			}
+			idxs = append(idxs, i)
+		}
+	}
+	var out []candidate
+	for _, i := range idxs {
+		name := schema.Attr(i).Name
+		for code, n := range rel.ValueFrequencies(i) {
+			if code == relation.StarCode || n < minSupport {
+				continue
+			}
+			out = append(out, candidate{attr: name, value: rel.Dict(i).Value(code), freq: n})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].freq != out[b].freq {
+			return out[a].freq > out[b].freq
+		}
+		if out[a].attr != out[b].attr {
+			return out[a].attr < out[b].attr
+		}
+		return out[a].value < out[b].value
+	})
+	return out, nil
+}
+
+// boundsAround converts an anchor occurrence count into a [λl, λr] range
+// honouring slack, feasibility for k, and the available support.
+func boundsAround(anchor, freq, k int, slack float64) (int, int) {
+	lo := int(math.Floor(float64(anchor) * (1 - slack)))
+	hi := int(math.Ceil(float64(anchor) * (1 + slack)))
+	if lo < 1 {
+		lo = 1
+	}
+	if lo > freq {
+		lo = freq
+	}
+	if hi < k {
+		hi = k // a preserved cluster has at least k tuples
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Proportional generates proportional-representation constraints: each
+// generated constraint anchors its frequency range at the target value's
+// original frequency, so a satisfying instance preserves roughly the value's
+// original share of the relation. This is the constraint class the paper's
+// experiments run.
+func Proportional(rel *relation.Relation, opts GenOptions) (Set, error) {
+	opts = opts.withDefaults()
+	cands, err := collectCandidates(rel, opts.Attrs, max(opts.MinSupport, opts.K))
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) < opts.Count {
+		return nil, fmt.Errorf("constraint: need %d targets, only %d values have support ≥ %d", opts.Count, len(cands), max(opts.MinSupport, opts.K))
+	}
+	pick := sampleWithoutReplacement(len(cands), opts.Count, opts.Rng)
+	set := make(Set, 0, opts.Count)
+	for _, i := range pick {
+		c := cands[i]
+		lo, hi := opts.coverageBounds(c.freq)
+		set = append(set, New(c.attr, c.value, lo, hi))
+	}
+	return set, nil
+}
+
+// MinimumFrequency generates minimum-frequency (coverage) constraints: each
+// constraint demands at least a fraction MinFrac of the value's original
+// frequency (at least k to avoid tokenism under clustering) and imposes no
+// effective upper pressure (λr = original frequency).
+func MinimumFrequency(rel *relation.Relation, opts GenOptions, minFrac float64) (Set, error) {
+	opts = opts.withDefaults()
+	cands, err := collectCandidates(rel, opts.Attrs, max(opts.MinSupport, opts.K))
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) < opts.Count {
+		return nil, fmt.Errorf("constraint: need %d targets, only %d values have support ≥ %d", opts.Count, len(cands), max(opts.MinSupport, opts.K))
+	}
+	pick := sampleWithoutReplacement(len(cands), opts.Count, opts.Rng)
+	set := make(Set, 0, opts.Count)
+	for _, i := range pick {
+		c := cands[i]
+		lo := int(math.Ceil(minFrac * float64(c.freq)))
+		if lo < 1 {
+			lo = 1
+		}
+		if lo > c.freq {
+			lo = c.freq
+		}
+		hi := c.freq
+		if hi < opts.K {
+			hi = opts.K
+		}
+		set = append(set, New(c.attr, c.value, lo, hi))
+	}
+	return set, nil
+}
+
+// Average generates average-representation constraints: every selected value
+// of an attribute gets the same frequency range, anchored at the mean
+// frequency of the attribute's domain values. Values of skewed attributes
+// therefore receive bounds far from their natural frequencies, which is why
+// the paper found this class more sensitive than proportional constraints.
+func Average(rel *relation.Relation, opts GenOptions) (Set, error) {
+	opts = opts.withDefaults()
+	cands, err := collectCandidates(rel, opts.Attrs, max(opts.MinSupport, opts.K))
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) < opts.Count {
+		return nil, fmt.Errorf("constraint: need %d targets, only %d values have support ≥ %d", opts.Count, len(cands), max(opts.MinSupport, opts.K))
+	}
+	// Mean frequency per attribute.
+	sum := make(map[string]int)
+	num := make(map[string]int)
+	for _, c := range cands {
+		sum[c.attr] += c.freq
+		num[c.attr]++
+	}
+	pick := sampleWithoutReplacement(len(cands), opts.Count, opts.Rng)
+	set := make(Set, 0, opts.Count)
+	for _, i := range pick {
+		c := cands[i]
+		mean := sum[c.attr] / num[c.attr]
+		anchor := int(math.Ceil(opts.Coverage * float64(mean)))
+		if anchor > c.freq {
+			anchor = c.freq // cannot demand more occurrences than exist
+		}
+		lo, hi := boundsAround(anchor, c.freq, opts.K, opts.Slack)
+		set = append(set, New(c.attr, c.value, lo, hi))
+	}
+	return set, nil
+}
+
+// WithConflict generates a constraint set whose measured conflict rate
+// cf(Σ) tracks targetCF, by pairing single-attribute base constraints on
+// attrA with multi-attribute refinements on (attrA, attrB) whose target
+// tuples cover the requested fraction of the base target set. targetCF = 0
+// yields pairwise independent constraints.
+//
+// The achievable rate is data-bounded: a refinement (a, b) can cover at
+// most max_b count(a, b)/count(a) of the base target, so on data without
+// strong attrA–attrB correlation high targets saturate at the data's
+// correlation ceiling (measured cf is monotone in targetCF either way).
+// Conflict-rate sweeps that need the full [0, 1] range pair constraints
+// over attributes whose coupling the dataset generator controls — see
+// dataset.PantheonConflict and the Figure 4c experiment.
+func WithConflict(rel *relation.Relation, attrA, attrB string, opts GenOptions, targetCF float64) (Set, error) {
+	opts = opts.withDefaults()
+	if targetCF < 0 || targetCF > 1 {
+		return nil, fmt.Errorf("constraint: target conflict rate %v outside [0,1]", targetCF)
+	}
+	schema := rel.Schema()
+	ia, ok := schema.Index(attrA)
+	if !ok {
+		return nil, fmt.Errorf("constraint: attribute %q not in schema", attrA)
+	}
+	ib, ok := schema.Index(attrB)
+	if !ok {
+		return nil, fmt.Errorf("constraint: attribute %q not in schema", attrB)
+	}
+
+	minSupport := max(opts.MinSupport, 2*opts.K) // base must host a refinement of support ≥ k
+	cands, err := collectCandidates(rel, []string{attrA}, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	nBase := (opts.Count + 1) / 2
+	if targetCF == 0 {
+		nBase = opts.Count
+	}
+	if len(cands) < nBase {
+		return nil, fmt.Errorf("constraint: need %d base targets on %s, only %d values have support ≥ %d", nBase, attrA, len(cands), minSupport)
+	}
+	pick := sampleWithoutReplacement(len(cands), nBase, opts.Rng)
+
+	set := make(Set, 0, opts.Count)
+	dictA := rel.Dict(ia)
+	for _, pi := range pick {
+		base := cands[pi]
+		lo, hi := opts.coverageBounds(base.freq)
+		set = append(set, New(attrA, base.value, lo, hi))
+		if len(set) == opts.Count {
+			break
+		}
+		if targetCF == 0 {
+			continue
+		}
+		// Find the attrB value whose co-occurrence with the base value is
+		// closest to the requested fraction of the base target set, subject
+		// to support ≥ k so the refinement stays satisfiable.
+		codeA, _ := dictA.Lookup(base.value)
+		co := make(map[uint32]int)
+		for _, row := range rel.MatchingRows([]int{ia}, []uint32{codeA}) {
+			co[rel.Code(row, ib)]++
+		}
+		want := targetCF * float64(base.freq)
+		bestCode, bestDiff := uint32(0), math.Inf(1)
+		for code, n := range co {
+			if code == relation.StarCode || n < opts.K {
+				continue
+			}
+			if d := math.Abs(float64(n) - want); d < bestDiff {
+				bestDiff, bestCode = d, code
+			}
+		}
+		if bestCode == relation.StarCode {
+			continue // no feasible refinement for this base value
+		}
+		n := co[bestCode]
+		rlo, rhi := opts.coverageBounds(n)
+		set = append(set, NewMulti(
+			[]string{attrA, attrB},
+			[]string{base.value, rel.Dict(ib).Value(bestCode)},
+			rlo, rhi,
+		))
+		if len(set) == opts.Count {
+			break
+		}
+	}
+	if len(set) < opts.Count {
+		return nil, fmt.Errorf("constraint: could only generate %d of %d constraints at conflict %.2f", len(set), opts.Count, targetCF)
+	}
+	return set, nil
+}
+
+// sampleWithoutReplacement returns k distinct indexes from [0, n) in random
+// order.
+func sampleWithoutReplacement(n, k int, rng *rand.Rand) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx[:k]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package constraint
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"diva/internal/dataset"
+	"diva/internal/relation"
+)
+
+func genRng() *rand.Rand { return rand.New(rand.NewPCG(21, 34)) }
+
+func popRelation(t testing.TB, n int) *relation.Relation {
+	t.Helper()
+	return dataset.PopSyn(dataset.Uniform).Generate(n, 77)
+}
+
+func TestProportional(t *testing.T) {
+	rel := popRelation(t, 5000)
+	k := 10
+	set, err := Proportional(rel, GenOptions{Count: 8, K: k, Rng: genRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 8 {
+		t.Fatalf("generated %d constraints", len(set))
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := set.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bounds {
+		freq := b.CountIn(rel)
+		if freq < k {
+			t.Errorf("%s targets value with support %d < k", b, freq)
+		}
+		if b.Lower > freq {
+			t.Errorf("%s lower bound exceeds support %d", b, freq)
+		}
+		if b.Upper < b.Lower || b.Upper < k {
+			t.Errorf("%s has infeasible bounds for k=%d", b, k)
+		}
+		// Coverage model: lower bound is max(k, ceil(0.1 freq)).
+		wantLo := (freq + 9) / 10
+		if wantLo < k {
+			wantLo = k
+		}
+		if b.Lower != wantLo {
+			t.Errorf("%s lower = %d, want %d (freq %d)", b, b.Lower, wantLo, freq)
+		}
+	}
+	// The original relation satisfies every generated constraint (counts
+	// equal frequencies, inside [0.1f, 0.9f]∪clamps — by construction
+	// upper is at least... the unsuppressed count equals freq which may
+	// exceed upper; this is the pressure Integrate resolves, so we only
+	// check lower bounds here).
+	for _, b := range bounds {
+		if b.CountIn(rel) < b.Lower {
+			t.Errorf("%s not satisfiable at all", b)
+		}
+	}
+}
+
+func TestProportionalDeterministic(t *testing.T) {
+	rel := popRelation(t, 3000)
+	a, err := Proportional(rel, GenOptions{Count: 6, K: 5, Rng: rand.New(rand.NewPCG(1, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Proportional(rel, GenOptions{Count: 6, K: 5, Rng: rand.New(rand.NewPCG(1, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different sets:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestProportionalTooManyRequested(t *testing.T) {
+	rel := popRelation(t, 200)
+	if _, err := Proportional(rel, GenOptions{Count: 10000, K: 5, Rng: genRng()}); err == nil {
+		t.Fatal("impossible count accepted")
+	}
+}
+
+func TestMinimumFrequency(t *testing.T) {
+	rel := popRelation(t, 3000)
+	set, err := MinimumFrequency(rel, GenOptions{Count: 5, K: 10, Rng: genRng()}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := set.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bounds {
+		freq := b.CountIn(rel)
+		want := (freq + 3) / 4 // ceil(0.25 freq)
+		if b.Lower != want {
+			t.Errorf("%s lower = %d, want %d", b, b.Lower, want)
+		}
+		if b.Upper < freq {
+			t.Errorf("%s upper = %d below support %d", b, b.Upper, freq)
+		}
+	}
+}
+
+func TestAverage(t *testing.T) {
+	rel := popRelation(t, 3000)
+	set, err := Average(rel, GenOptions{Count: 5, K: 10, Rng: genRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := set.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bounds {
+		if b.Lower > b.CountIn(rel) {
+			t.Errorf("%s lower bound exceeds support", b)
+		}
+	}
+}
+
+func TestWithConflictZero(t *testing.T) {
+	rel := popRelation(t, 5000)
+	set, err := WithConflict(rel, "ETH", "PRV", GenOptions{Count: 4, K: 10, Rng: genRng()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("generated %d constraints", len(set))
+	}
+	bounds, _ := set.Bind(rel)
+	if cf := SetConflict(rel, bounds); cf != 0 {
+		t.Fatalf("cf = %v, want 0 (constraints on distinct values of one attribute)", cf)
+	}
+}
+
+func TestWithConflictMonotone(t *testing.T) {
+	// The achievable conflict rate is bounded by the data's attrA–attrB
+	// correlation (see the WithConflict doc comment); the contract is that
+	// the measured rate is zero at target 0, positive for positive
+	// targets, and non-decreasing in the target.
+	rel := popRelation(t, 8000)
+	prev := -1.0
+	for _, target := range []float64{0, 0.3, 0.6, 0.9} {
+		set, err := WithConflict(rel, "ETH", "PRV", GenOptions{Count: 6, K: 10, Rng: genRng()}, target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		bounds, err := set.Bind(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf := SetConflict(rel, bounds)
+		if target == 0 && cf != 0 {
+			t.Errorf("target 0: measured cf %v", cf)
+		}
+		if target > 0 && cf <= 0 {
+			t.Errorf("target %v: measured cf %v, want > 0", target, cf)
+		}
+		if cf < prev-1e-9 {
+			t.Errorf("cf decreased: %v after %v", cf, prev)
+		}
+		prev = cf
+	}
+}
+
+// TestPairedConflictOnCoupledData shows the full-range conflict control the
+// Figure 4c experiment uses: on a dataset with coupled attributes, paired
+// constraints reach high conflict rates.
+func TestPairedConflictOnCoupledData(t *testing.T) {
+	rel := dataset.PantheonConflict(0.9).Generate(4000, 5)
+	occIdx, _ := rel.Schema().Index("OCCUPATION")
+	// Most frequent occupation.
+	var best uint32
+	bestN := 0
+	for code, n := range rel.ValueFrequencies(occIdx) {
+		if code != relation.StarCode && n > bestN {
+			best, bestN = code, n
+		}
+	}
+	occ := rel.Dict(occIdx).Value(best)
+	sigma := Set{
+		New("OCCUPATION", occ, 1, bestN),
+		New("INDUSTRY", dataset.IndustryOf(occ), 1, rel.Len()),
+	}
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := SetConflict(rel, bounds)
+	if cf < 0.6 {
+		t.Fatalf("coupled pair cf = %v, want ≥ 0.6", cf)
+	}
+}
+
+func TestWithConflictRejectsBadTarget(t *testing.T) {
+	rel := popRelation(t, 1000)
+	if _, err := WithConflict(rel, "ETH", "PRV", GenOptions{Count: 2, K: 5, Rng: genRng()}, 1.5); err == nil {
+		t.Fatal("cf > 1 accepted")
+	}
+	if _, err := WithConflict(rel, "NOPE", "PRV", GenOptions{Count: 2, K: 5, Rng: genRng()}, 0.5); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestCollectCandidatesRespectsAttrs(t *testing.T) {
+	rel := popRelation(t, 2000)
+	set, err := Proportional(rel, GenOptions{Attrs: []string{"GEN"}, Count: 2, K: 5, Rng: genRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range set {
+		if c.Attrs[0] != "GEN" {
+			t.Fatalf("constraint on %s, want GEN", c.Attrs[0])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package constraint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one constraint in the textual constraint language:
+//
+//	ATTR[value], lower, upper
+//	ATTR1[value1] ATTR2[value2], lower, upper
+//
+// Values may contain any character except ']'. Whitespace around tokens is
+// ignored. The paper's notation (ETH[Asian], 2, 5) is accepted with or
+// without the surrounding parentheses.
+func Parse(line string) (Constraint, error) {
+	s := strings.TrimSpace(line)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+
+	// The bounds are the last two comma-separated fields; the target spec is
+	// everything before them (target values may themselves contain commas).
+	lastComma := strings.LastIndexByte(s, ',')
+	if lastComma < 0 {
+		return Constraint{}, fmt.Errorf("constraint: %q: missing bounds", line)
+	}
+	prevComma := strings.LastIndexByte(s[:lastComma], ',')
+	if prevComma < 0 {
+		return Constraint{}, fmt.Errorf("constraint: %q: missing lower bound", line)
+	}
+	targetSpec := strings.TrimSpace(s[:prevComma])
+	lowerStr := strings.TrimSpace(s[prevComma+1 : lastComma])
+	upperStr := strings.TrimSpace(s[lastComma+1:])
+
+	lower, err := strconv.Atoi(lowerStr)
+	if err != nil {
+		return Constraint{}, fmt.Errorf("constraint: %q: bad lower bound %q", line, lowerStr)
+	}
+	upper, err := strconv.Atoi(upperStr)
+	if err != nil {
+		return Constraint{}, fmt.Errorf("constraint: %q: bad upper bound %q", line, upperStr)
+	}
+
+	c := Constraint{Lower: lower, Upper: upper}
+	rest := targetSpec
+	for rest != "" {
+		open := strings.IndexByte(rest, '[')
+		if open <= 0 {
+			return Constraint{}, fmt.Errorf("constraint: %q: want ATTR[value] in %q", line, targetSpec)
+		}
+		closeIdx := strings.IndexByte(rest[open:], ']')
+		if closeIdx < 0 {
+			return Constraint{}, fmt.Errorf("constraint: %q: unclosed '[' in %q", line, targetSpec)
+		}
+		closeIdx += open
+		attr := strings.TrimSpace(rest[:open])
+		value := rest[open+1 : closeIdx]
+		c.Attrs = append(c.Attrs, attr)
+		c.Values = append(c.Values, value)
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+	}
+	if err := c.Validate(); err != nil {
+		return Constraint{}, fmt.Errorf("constraint: %q: %w", line, err)
+	}
+	return c, nil
+}
+
+// ParseSet reads a constraint set, one constraint per line. Blank lines and
+// lines starting with '#' are skipped.
+func ParseSet(r io.Reader) (Set, error) {
+	var set Set
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		set = append(set, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

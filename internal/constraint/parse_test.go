@@ -1,0 +1,125 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSingle(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Constraint
+	}{
+		{"ETH[Asian], 2, 5", New("ETH", "Asian", 2, 5)},
+		{"(ETH[Asian], 2, 5)", New("ETH", "Asian", 2, 5)},
+		{"  CTY[Vancouver] ,0,4 ", New("CTY", "Vancouver", 0, 4)},
+		{"A[value with spaces], 1, 2", New("A", "value with spaces", 1, 2)},
+		{"A[x,y], 1, 2", New("A", "x,y", 1, 2)}, // commas inside the value
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got.String() != tc.want.String() {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	got, err := Parse("ETH[Asian] CTY[Vancouver], 1, 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 1, 3)
+	if got.String() != want.String() {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"ETH[Asian]",        // no bounds
+		"ETH[Asian], 2",     // one bound
+		"ETH[Asian], a, b",  // non-numeric bounds
+		"ETHAsian, 2, 5",    // no brackets
+		"ETH[Asian, 2, 5",   // unclosed bracket
+		"[Asian], 2, 5",     // empty attribute
+		"ETH[Asian], 5, 2",  // inverted bounds
+		"ETH[Asian], -1, 2", // negative bound
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+// Property: String() output re-parses to an identical constraint for values
+// without the characters the syntax reserves.
+func TestParseRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			switch r {
+			case '[', ']', ',', '\n', '\r':
+				return 'x'
+			}
+			return r
+		}, s)
+		s = strings.TrimSpace(s)
+		if s == "" || s == "*" {
+			return "v"
+		}
+		return s
+	}
+	f := func(attrRaw, valueRaw string, lo, hi uint8) bool {
+		attr := sanitize(attrRaw)
+		attr = strings.ReplaceAll(attr, " ", "_") // attribute names are single tokens
+		value := sanitize(valueRaw)
+		l, h := int(lo), int(hi)
+		if h < l {
+			l, h = h, l
+		}
+		c := New(attr, value, l, h)
+		back, err := Parse(c.String())
+		if err != nil {
+			return false
+		}
+		return back.String() == c.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	text := `
+# the paper's example constraints
+ETH[Asian], 2, 5
+ETH[African], 1, 3
+
+CTY[Vancouver], 2, 4
+`
+	set, err := ParseSet(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("parsed %d constraints", len(set))
+	}
+	if set[1].String() != "ETH[African], 1, 3" {
+		t.Fatalf("set[1] = %v", set[1])
+	}
+}
+
+func TestParseSetRejectsBadLine(t *testing.T) {
+	if _, err := ParseSet(strings.NewReader("ETH[Asian], 2, 5\ngarbage\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if _, err := ParseSet(strings.NewReader("ETH[Asian], 2, 5\nETH[Asian], 1, 2\n")); err == nil {
+		t.Fatal("duplicate targets accepted")
+	}
+}

@@ -1,0 +1,366 @@
+// Package core implements the DIVA algorithm (Algorithm 1 of the paper):
+// DiverseClustering via graph coloring, value Suppression (Algorithm 2), an
+// off-the-shelf Anonymize step for the remaining tuples, and the Integrate
+// repair that restores violated upper bounds.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"diva/internal/anon"
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+	"diva/internal/hierarchy"
+	"diva/internal/metrics"
+	"diva/internal/privacy"
+	"diva/internal/relation"
+	"diva/internal/search"
+)
+
+// ErrNoDiverseClustering is returned when no k-anonymous relation
+// satisfying the diversity constraints exists (or none was found within the
+// search budget) — the paper's "relation does not exist" outcome.
+var ErrNoDiverseClustering = errors.New("diva: no diverse k-anonymous relation exists")
+
+// Options configures a DIVA run.
+type Options struct {
+	// K is the privacy parameter (minimum QI-group size). Must be ≥ 1.
+	K int
+	// Strategy selects the coloring node order (Basic, MinChoice,
+	// MaxFanOut).
+	Strategy search.Strategy
+	// Rng drives randomized choices (Basic node selection, the anonymizer's
+	// seeding). Required.
+	Rng *rand.Rand
+	// Cluster bounds the per-constraint candidate enumeration. The K field
+	// is filled in from Options.K.
+	Cluster cluster.Options
+	// MaxSteps caps the coloring search; zero means the search package
+	// default.
+	MaxSteps int
+	// Anonymizer handles the tuples outside the diverse clustering. Nil
+	// means k-member with a 512-record sample cap, the paper's choice.
+	Anonymizer anon.Partitioner
+	// Criterion, when non-nil, is an additional privacy requirement on
+	// every QI-group of the output (e.g. privacy.DistinctLDiversity) — the
+	// paper's "extensible to l-diversity, t-closeness" hook. It is
+	// enforced during cluster enumeration and by the default anonymizer;
+	// a custom Anonymizer must enforce it itself (the driver re-verifies
+	// the final output either way).
+	Criterion privacy.Criterion
+	// Parallel, when > 0, runs that many concurrent coloring searches (a
+	// strategy portfolio; the first to finish wins) instead of the single
+	// search selected by Strategy — the paper's future-work direction of
+	// parallelizing the coloring.
+	Parallel int
+	// Hierarchies, when non-nil, renders clusters by generalization
+	// instead of suppression: a QI attribute a cluster disagrees on lifts
+	// to the least common ancestor of its values (★ only when no finer
+	// ancestor exists, or for attributes without a hierarchy). Constraint
+	// satisfaction is unaffected — generalized cells, like suppressed
+	// ones, contribute no target occurrences — but the published relation
+	// retains partial information, priced by hierarchy.NCP.
+	Hierarchies hierarchy.Set
+}
+
+// Result carries the output of a DIVA run along with its intermediate
+// artifacts and search statistics.
+type Result struct {
+	// Output is R′ = RΣ ∪ Rk: the k-anonymous, diverse relation.
+	Output *relation.Relation
+	// Diverse is RΣ, the suppressed diverse clustering (Suppress(SΣ)).
+	Diverse *relation.Relation
+	// Rest is Rk, the anonymization of the remaining tuples, after the
+	// Integrate repair.
+	Rest *relation.Relation
+	// Clustering is SΣ.
+	Clustering cluster.Clustering
+	// Stats reports the coloring search effort.
+	Stats search.Stats
+	// RepairedCells counts QI cells additionally suppressed by Integrate.
+	RepairedCells int
+}
+
+// Anonymize runs DIVA on rel with diversity constraints sigma: it computes
+// a k-anonymous relation R′ with R ⊑ R′ and R′ |= Σ, with minimal
+// suppression. It returns ErrNoDiverseClustering (possibly wrapped) when no
+// such relation exists or none was found within the search budget.
+func Anonymize(rel *relation.Relation, sigma constraint.Set, opts Options) (*Result, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("diva: k must be ≥ 1, got %d", opts.K)
+	}
+	if rel.Len() > 0 && rel.Len() < opts.K {
+		return nil, fmt.Errorf("diva: cannot %d-anonymize %d tuples: %w", opts.K, rel.Len(), ErrNoDiverseClustering)
+	}
+	if err := sigma.Validate(); err != nil {
+		return nil, err
+	}
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Anonymizer == nil {
+		opts.Anonymizer = &anon.KMember{Rng: opts.Rng, SampleCap: 512, Criterion: opts.Criterion}
+	}
+
+	// Constraints whose targets involve no QI attribute are invariant under
+	// suppression: their occurrence counts cannot change in any R ⊑ R′, so
+	// they must already hold in R and take no part in the search.
+	schema := rel.Schema()
+	var searchable []*constraint.Bound
+	for _, b := range bounds {
+		hasQI := false
+		for _, a := range b.Attrs {
+			if schema.Attr(a).Role == relation.QI {
+				hasQI = true
+				break
+			}
+		}
+		if !hasQI {
+			if n := b.CountIn(rel); n < b.Lower || n > b.Upper {
+				return nil, fmt.Errorf("diva: constraint (%s) targets only non-QI attributes and R has %d occurrences: %w", b, n, ErrNoDiverseClustering)
+			}
+			continue
+		}
+		searchable = append(searchable, b)
+	}
+
+	// DiverseClustering (Algorithm 3): build the constraint graph and color
+	// it.
+	copts := opts.Cluster
+	copts.K = opts.K
+	copts.Criterion = opts.Criterion
+	graph := search.BuildGraph(rel, searchable, copts)
+	n := rel.Len()
+	searchOpts := search.Options{
+		Strategy: opts.Strategy,
+		Rng:      opts.Rng,
+		MaxSteps: opts.MaxSteps,
+		Accept: func(used int) bool {
+			rest := n - used
+			return rest == 0 || rest >= opts.K
+		},
+	}
+	var (
+		sigmaClustering cluster.Clustering
+		stats           search.Stats
+		found           bool
+	)
+	if opts.Parallel > 0 {
+		sigmaClustering, stats, found = graph.ColorPortfolio(searchOpts, opts.Parallel, opts.Rng.Uint64())
+	} else {
+		sigmaClustering, stats, found = graph.Color(searchOpts)
+	}
+	if !found {
+		return nil, fmt.Errorf("diva: coloring failed after %d steps (%d backtracks): %w", stats.Steps, stats.Backtracks, ErrNoDiverseClustering)
+	}
+
+	// Suppress (Algorithm 2) on SΣ gives RΣ (generalized rendering when
+	// hierarchies are supplied).
+	diverse := SuppressGeneralize(rel, sigmaClustering, opts.Hierarchies)
+
+	// Anonymize the remaining tuples with the off-the-shelf algorithm.
+	used := make(map[int]bool, sigmaClustering.Tuples())
+	for _, c := range sigmaClustering {
+		for _, row := range c {
+			used[row] = true
+		}
+	}
+	var rest []int
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			rest = append(rest, i)
+		}
+	}
+	parts, err := opts.Anonymizer.Partition(rel, rest, opts.K)
+	if err != nil {
+		return nil, fmt.Errorf("diva: anonymizing %d remaining tuples: %w", len(rest), err)
+	}
+	restRel := SuppressGeneralize(rel, parts, opts.Hierarchies)
+
+	// Integrate: repair upper bounds that Rk pushed over.
+	repaired, err := integrate(diverse, restRel, bounds, schema)
+	if err != nil {
+		return nil, err
+	}
+
+	output := diverse.Clone()
+	output.AppendRowsFrom(restRel, allRows(restRel))
+	if opts.Criterion != nil {
+		if ok, group := privacy.Satisfies(output, opts.Criterion); !ok {
+			return nil, fmt.Errorf("diva: output QI-group of %d tuples violates %s: %w", len(group), opts.Criterion.Name(), ErrNoDiverseClustering)
+		}
+	}
+	return &Result{
+		Output:        output,
+		Diverse:       diverse,
+		Rest:          restRel,
+		Clustering:    sigmaClustering,
+		Stats:         stats,
+		RepairedCells: repaired,
+	}, nil
+}
+
+// Suppress is Algorithm 2: for every cluster, every QI attribute on which
+// the cluster disagrees is suppressed in all of the cluster's tuples, so
+// each cluster becomes a QI-group. Identifier attributes are always
+// suppressed. Sensitive attributes are kept verbatim. The output relation
+// shares the input's dictionaries; its rows follow cluster order.
+func Suppress(rel *relation.Relation, clusters [][]int) *relation.Relation {
+	schema := rel.Schema()
+	qi := schema.QIIndexes()
+	var ids []int
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Attr(i).Role == relation.Identifier {
+			ids = append(ids, i)
+		}
+	}
+	out := rel.Derive()
+	row := make([]uint32, schema.Len())
+	for _, c := range clusters {
+		if len(c) == 0 {
+			continue
+		}
+		// Which QI attributes disagree within the cluster?
+		suppress := make([]bool, len(qi))
+		first := rel.Row(c[0])
+		for qidx, a := range qi {
+			for _, t := range c[1:] {
+				if rel.Code(t, a) != first[a] {
+					suppress[qidx] = true
+					break
+				}
+			}
+		}
+		for _, t := range c {
+			copy(row, rel.Row(t))
+			for qidx, a := range qi {
+				if suppress[qidx] {
+					row[a] = relation.StarCode
+				}
+			}
+			for _, a := range ids {
+				row[a] = relation.StarCode
+			}
+			out.AppendCodes(row)
+		}
+	}
+	return out
+}
+
+// RunBaseline anonymizes all of rel with a baseline partitioner and
+// suppression, without diversity constraints. It is the comparison path for
+// the paper's §4.2 study.
+func RunBaseline(rel *relation.Relation, p anon.Partitioner, k int) (*relation.Relation, error) {
+	parts, err := p.Partition(rel, allRows(rel), k)
+	if err != nil {
+		return nil, err
+	}
+	return Suppress(rel, parts), nil
+}
+
+// integrate verifies RΣ ∪ Rk against every constraint and repairs upper-
+// bound violations by suppressing target QI attributes across whole
+// QI-groups of Rk (so k-anonymity is preserved), choosing groups with the
+// most removable occurrences per suppressed cell first. It returns the
+// number of cells suppressed. Lower bounds cannot be violated at this
+// point: RΣ alone preserves at least λl occurrences of every searchable
+// constraint and repairs only ever remove occurrences contributed by Rk.
+func integrate(diverse, rest *relation.Relation, bounds []*constraint.Bound, schema *relation.Schema) (int, error) {
+	repaired := 0
+	for _, b := range bounds {
+		// Occurrences across both parts.
+		total := b.CountIn(diverse) + b.CountIn(rest)
+		if total <= b.Upper {
+			continue
+		}
+		excess := total - b.Upper
+		// Pick a QI target attribute to break. Constraints without QI
+		// target attributes were validated up front and cannot appear here.
+		breakAttr := -1
+		for _, a := range b.Attrs {
+			if schema.Attr(a).Role == relation.QI {
+				breakAttr = a
+				break
+			}
+		}
+		if breakAttr < 0 {
+			return repaired, fmt.Errorf("diva: integrate: constraint (%s) exceeded by %d occurrences but has no suppressible target attribute: %w", b, excess, ErrNoDiverseClustering)
+		}
+		// Rank Rk QI-groups by occurrences removed per suppressed cell.
+		type candidate struct {
+			group   []int
+			matches int
+		}
+		var cands []candidate
+		for _, g := range rest.QIGroups() {
+			m := 0
+			for _, row := range g {
+				if b.Matches(rest.Row(row)) {
+					m++
+				}
+			}
+			if m > 0 {
+				cands = append(cands, candidate{group: g, matches: m})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			ri := float64(cands[i].matches) / float64(len(cands[i].group))
+			rj := float64(cands[j].matches) / float64(len(cands[j].group))
+			if ri != rj {
+				return ri > rj
+			}
+			return cands[i].matches > cands[j].matches
+		})
+		for _, c := range cands {
+			if excess <= 0 {
+				break
+			}
+			for _, row := range c.group {
+				if !rest.IsSuppressed(row, breakAttr) {
+					rest.Suppress(row, breakAttr)
+					repaired++
+				}
+			}
+			excess -= c.matches
+		}
+		if excess > 0 {
+			return repaired, fmt.Errorf("diva: integrate: could not repair upper bound of (%s): %w", b, ErrNoDiverseClustering)
+		}
+	}
+	return repaired, nil
+}
+
+// allRows returns [0, rel.Len()).
+func allRows(rel *relation.Relation) []int {
+	rows := make([]int, rel.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// Verify checks the three output conditions of Definition 2.4 on a result:
+// R ⊑ R′ (up to reordering), k-anonymity, and R′ |= Σ. It is used by tests
+// and the CLI's --verify flag; it is O(n²) in the worst case because of the
+// suppression matching and is not meant for hot paths. Results produced
+// with Options.Hierarchies fail the R ⊑ R′ check by design (generalized
+// cells hold ancestors, not the original value or ★); verify those with
+// metrics.IsKAnonymous and Set.SatisfiedBy directly.
+func Verify(orig *relation.Relation, res *Result, sigma constraint.Set, k int) error {
+	if !metrics.IsKAnonymous(res.Output, k) {
+		return fmt.Errorf("diva: output is not %d-anonymous (smallest QI-group has %d tuples)", k, metrics.SmallestQIGroup(res.Output))
+	}
+	ok, err := sigma.SatisfiedBy(res.Output)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		viol, _ := sigma.Violations(res.Output)
+		return fmt.Errorf("diva: output violates constraints: %v", viol)
+	}
+	return metrics.VerifySuppressionOf(orig, res.Output)
+}

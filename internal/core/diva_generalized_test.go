@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"diva/internal/constraint"
+	"diva/internal/core"
+	"diva/internal/hierarchy"
+	"diva/internal/metrics"
+	"diva/internal/relation"
+	"diva/internal/search"
+)
+
+// TestAnonymizeWithHierarchies runs the full DIVA pipeline in generalized
+// rendering: the output must be k-anonymous, satisfy Σ, and strictly beat
+// the suppression rendering on NCP.
+func TestAnonymizeWithHierarchies(t *testing.T) {
+	rel := paperRelation(t)
+	sigma := paperSigma()
+	hs := hierarchy.Set{}
+	// Three interval levels (widths 5, 25, 125): clusters whose ages fall
+	// within one 25-year band keep a meaningful interval instead of ★.
+	age, err := hierarchy.Intervals("AGE", 0, 99, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs["AGE"] = age
+	prv, err := hierarchy.NewBuilder("PRV").
+		Add(relation.Star, "WestCanada").
+		Add("WestCanada", "AB", "BC", "MB").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs["PRV"] = prv
+
+	run := func(hset hierarchy.Set) *core.Result {
+		res, err := core.Anonymize(rel, sigma, core.Options{
+			K:           2,
+			Strategy:    search.MaxFanOut,
+			Rng:         testRng(),
+			Hierarchies: hset,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	gen := run(hs)
+	sup := run(nil)
+
+	if !metrics.IsKAnonymous(gen.Output, 2) {
+		t.Fatal("generalized output not 2-anonymous")
+	}
+	ok, err := sigma.SatisfiedBy(gen.Output)
+	if err != nil || !ok {
+		t.Fatalf("generalized output violates Σ (err=%v)", err)
+	}
+	ncpGen := hierarchy.NCP(gen.Output, hs)
+	ncpSup := hierarchy.NCP(sup.Output, hs)
+	if ncpGen >= ncpSup {
+		t.Fatalf("generalized NCP %v not below suppression NCP %v", ncpGen, ncpSup)
+	}
+	// Generalized AGE cells should show intervals, not stars, somewhere.
+	ageIdx, _ := gen.Output.Schema().Index("AGE")
+	sawInterval := false
+	for i := 0; i < gen.Output.Len(); i++ {
+		v := gen.Output.Value(i, ageIdx)
+		if len(v) > 0 && v[0] == '[' {
+			sawInterval = true
+			break
+		}
+	}
+	if !sawInterval {
+		t.Fatal("no generalized AGE interval in the output")
+	}
+}
+
+// TestGeneralizedSatisfactionCounting: a generalized cell must not count as
+// a target occurrence (Definition 2.3 counts exact values).
+func TestGeneralizedSatisfactionCounting(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "CTY", Role: relation.QI},
+		relation.Attribute{Name: "S", Role: relation.Sensitive},
+	)
+	rel := relation.New(schema)
+	rel.MustAppendValues("Vancouver", "s")
+	rel.MustAppendValues("Victoria", "s")
+	cty, err := hierarchy.NewBuilder("CTY").
+		Add(relation.Star, "BC").
+		Add("BC", "Vancouver", "Victoria").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := core.SuppressGeneralize(rel, [][]int{{0, 1}}, hierarchy.Set{"CTY": cty})
+	b, err := constraint.New("CTY", "Vancouver", 0, 5).Bound(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.CountIn(out); n != 0 {
+		t.Fatalf("generalized cell counted as %d occurrences", n)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"diva/internal/hierarchy"
+	"diva/internal/relation"
+)
+
+// SuppressGeneralize is the generalization-based variant of Suppress
+// (Algorithm 2): within each cluster, a QI attribute on which the cluster
+// disagrees is replaced by the least common ancestor of the cluster's
+// values in the attribute's hierarchy, rather than by ★. Attributes
+// without a hierarchy fall back to suppression (the flat-hierarchy special
+// case), so SuppressGeneralize(rel, clusters, nil) ≡ Suppress(rel,
+// clusters).
+//
+// The output is k-anonymous exactly as with Suppress — every cluster's
+// tuples share identical QI vectors — but retains partial information
+// ("[30-39]" instead of ★), which the hierarchy.NCP measure prices.
+// Diversity constraints count exact target values (Definition 2.3), so a
+// generalized cell never contributes an occurrence, mirroring a suppressed
+// one; DIVA's satisfaction guarantees carry over unchanged. Note that
+// R ⊑ R′ in the strict value-or-★ sense holds only for the suppression
+// variant; generalized outputs satisfy the weaker ancestor-or-value
+// relation inherent to generalization.
+func SuppressGeneralize(rel *relation.Relation, clusters [][]int, hs hierarchy.Set) *relation.Relation {
+	schema := rel.Schema()
+	qi := schema.QIIndexes()
+	var ids []int
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Attr(i).Role == relation.Identifier {
+			ids = append(ids, i)
+		}
+	}
+	out := rel.Derive()
+	row := make([]uint32, schema.Len())
+	for _, c := range clusters {
+		if len(c) == 0 {
+			continue
+		}
+		// Per QI attribute: the replacement code, or the attribute's own
+		// value when the cluster agrees.
+		replace := make([]uint32, len(qi))
+		needReplace := make([]bool, len(qi))
+		first := rel.Row(c[0])
+		for qidx, a := range qi {
+			uniform := true
+			for _, t := range c[1:] {
+				if rel.Code(t, a) != first[a] {
+					uniform = false
+					break
+				}
+			}
+			if uniform {
+				continue
+			}
+			needReplace[qidx] = true
+			replace[qidx] = relation.StarCode
+			h, ok := hs.For(schema.Attr(a).Name)
+			if !ok {
+				continue
+			}
+			// LCA over the cluster's values.
+			lca := rel.Value(c[0], a)
+			for _, t := range c[1:] {
+				lca = h.LCA(lca, rel.Value(t, a))
+				if lca == relation.Star {
+					break
+				}
+			}
+			if lca != relation.Star {
+				replace[qidx] = out.Dict(a).Code(lca)
+			}
+		}
+		for _, t := range c {
+			copy(row, rel.Row(t))
+			for qidx, a := range qi {
+				if needReplace[qidx] {
+					row[a] = replace[qidx]
+				}
+			}
+			for _, a := range ids {
+				row[a] = relation.StarCode
+			}
+			out.AppendCodes(row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+package core_test
+
+import "math/rand/v2"
+
+// testRng returns a deterministic generator for reproducible tests.
+func testRng() *rand.Rand {
+	return rand.New(rand.NewPCG(7, 11))
+}

@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"diva/internal/constraint"
+	"diva/internal/core"
+	"diva/internal/search"
+)
+
+// TestMultiAttributeConstraint drives the extended constraint form
+// σ = (X[t], λl, λr) through DIVA on the paper's relation.
+func TestMultiAttributeConstraint(t *testing.T) {
+	rel := paperRelation(t)
+	// Two Asian Vancouverites exist (t8, t10); preserve both.
+	sigma := constraint.Set{
+		constraint.NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 2, 2),
+	}
+	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(rel, res, sigma, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The preserving cluster must be exactly {t8, t10} (rows 7 and 9): the
+	// only pair uniform on both target attributes.
+	found := false
+	for _, c := range res.Clustering {
+		if len(c) == 2 && c[0] == 7 && c[1] == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SΣ = %v missing the Asian-Vancouver pair {7, 9}", res.Clustering)
+	}
+}
+
+// TestMixedQISensitiveTarget drives a constraint whose target spans a QI
+// and a sensitive attribute: the sensitive part is never suppressed, so
+// preservation hinges on the QI part only.
+func TestMixedQISensitiveTarget(t *testing.T) {
+	rel := paperRelation(t)
+	// Asian patients with Seizure: only t8 (row 7). Preserve it, with a
+	// second Asian row to form the k = 2 cluster.
+	sigma := constraint.Set{
+		constraint.NewMulti([]string{"ETH", "DIAG"}, []string{"Asian", "Seizure"}, 1, 1),
+	}
+	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(rel, res, sigma, 2); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sigma[0].Bound(res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.CountIn(res.Output); n != 1 {
+		t.Fatalf("mixed target count = %d, want 1", n)
+	}
+}
+
+// TestMixedTargetInfeasibleUpper: with one African male pair forced, a
+// mixed constraint demanding zero preserved African hypertension patients
+// conflicts if suppression cannot remove the sensitive half — the QI part
+// can always be broken though, so DIVA must succeed by suppressing ETH in
+// the right place or avoiding the combination.
+func TestMixedTargetUpperBoundRepair(t *testing.T) {
+	rel := paperRelation(t)
+	// t5 is the only (African, Hypertension) row; allow none visible.
+	sigma := constraint.Set{
+		constraint.NewMulti([]string{"ETH", "DIAG"}, []string{"African", "Hypertension"}, 0, 0),
+	}
+	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sigma[0].Bound(res.Output)
+	if n := b.CountIn(res.Output); n != 0 {
+		t.Fatalf("upper bound 0 violated: %d occurrences", n)
+	}
+	if err := core.Verify(rel, res, sigma, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConflictingMultiAttrConstraints: a pair of constraints that cannot
+// both hold — every preserved Asian-Vancouver pair would push the
+// Vancouver count above its ceiling.
+func TestConflictingMultiAttrConstraints(t *testing.T) {
+	rel := paperRelation(t)
+	sigma := constraint.Set{
+		constraint.NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 2, 2),
+		constraint.New("CTY", "Vancouver", 0, 1), // at most one Vancouver visible
+	}
+	_, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	if !errors.Is(err, core.ErrNoDiverseClustering) {
+		t.Fatalf("err = %v, want ErrNoDiverseClustering", err)
+	}
+}

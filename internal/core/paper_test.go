@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"diva/internal/constraint"
+	"diva/internal/core"
+	"diva/internal/metrics"
+	"diva/internal/relation"
+	"diva/internal/search"
+)
+
+// paperRelation builds Table 1 of the paper: ten patient records with QI
+// attributes GEN, ETH, AGE, PRV, CTY and sensitive attribute DIAG.
+func paperRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "GEN", Role: relation.QI},
+		relation.Attribute{Name: "ETH", Role: relation.QI},
+		relation.Attribute{Name: "AGE", Role: relation.QI, Kind: relation.Numeric},
+		relation.Attribute{Name: "PRV", Role: relation.QI},
+		relation.Attribute{Name: "CTY", Role: relation.QI},
+		relation.Attribute{Name: "DIAG", Role: relation.Sensitive},
+	)
+	rel := relation.New(schema)
+	for _, row := range [][]string{
+		{"Female", "Caucasian", "80", "AB", "Calgary", "Hypertension"}, // t1
+		{"Female", "Caucasian", "32", "AB", "Calgary", "Tuberculosis"}, // t2
+		{"Male", "Caucasian", "59", "AB", "Calgary", "Osteoarthritis"}, // t3
+		{"Male", "Caucasian", "46", "MB", "Winnipeg", "Migraine"},      // t4
+		{"Male", "African", "32", "MB", "Winnipeg", "Hypertension"},    // t5
+		{"Male", "African", "43", "BC", "Vancouver", "Seizure"},        // t6
+		{"Male", "Caucasian", "35", "BC", "Vancouver", "Hypertension"}, // t7
+		{"Female", "Asian", "58", "BC", "Vancouver", "Seizure"},        // t8
+		{"Female", "Asian", "63", "MB", "Winnipeg", "Influenza"},       // t9
+		{"Female", "Asian", "71", "BC", "Vancouver", "Migraine"},       // t10
+	} {
+		rel.MustAppendValues(row...)
+	}
+	return rel
+}
+
+// paperSigma is Σ = {σ1, σ2, σ3} of Example 3.1.
+func paperSigma() constraint.Set {
+	return constraint.Set{
+		constraint.New("ETH", "Asian", 2, 5),     // σ1
+		constraint.New("ETH", "African", 1, 3),   // σ2
+		constraint.New("CTY", "Vancouver", 2, 4), // σ3
+	}
+}
+
+// TestPaperExample runs DIVA exactly as Example 3.1: k = 2 with σ1–σ3 over
+// Table 1 must yield a 2-anonymous relation satisfying Σ.
+func TestPaperExample(t *testing.T) {
+	for _, strat := range []search.Strategy{search.Basic, search.MinChoice, search.MaxFanOut} {
+		t.Run(strat.String(), func(t *testing.T) {
+			rel := paperRelation(t)
+			sigma := paperSigma()
+			res, err := core.Anonymize(rel, sigma, core.Options{
+				K:        2,
+				Strategy: strat,
+				Rng:      testRng(),
+			})
+			if err != nil {
+				t.Fatalf("Anonymize: %v", err)
+			}
+			if err := core.Verify(rel, res, sigma, 2); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if res.Output.Len() != rel.Len() {
+				t.Fatalf("output has %d tuples, want %d", res.Output.Len(), rel.Len())
+			}
+			// Every constraint must be satisfied with occurrences inside its
+			// frequency range.
+			bounds, err := sigma.Bind(res.Output)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range bounds {
+				n := b.CountIn(res.Output)
+				if n < b.Lower || n > b.Upper {
+					t.Errorf("constraint %s: %d occurrences outside [%d, %d]", b, n, b.Lower, b.Upper)
+				}
+			}
+		})
+	}
+}
+
+// TestPaperExampleDiverseClusteringShape checks that the diverse clustering
+// covers the constraints the way Example 3.1 describes: the African
+// constraint has a single possible cluster {t5, t6} (rows 4 and 5).
+func TestPaperExampleDiverseClusteringShape(t *testing.T) {
+	rel := paperRelation(t)
+	sigma := paperSigma()
+	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ2 = (ETH[African], 1, 3): the only African tuples are t5 and t6
+	// (rows 4 and 5); at k = 2 the only cluster preserving at least one
+	// African value is {t5, t6}, so it must appear in SΣ.
+	found := false
+	for _, c := range res.Clustering {
+		if len(c) == 2 && c[0] == 4 && c[1] == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SΣ = %v does not contain the forced African cluster {4, 5}", res.Clustering)
+	}
+}
+
+// TestPaperTable2Shape reproduces the k = 3 plain anonymization setting of
+// Table 2: a 3-anonymization of Table 1 (no diversity constraints) must be
+// 3-anonymous but loses the African ethnicity, which DIVA retains.
+func TestPaperTable2Shape(t *testing.T) {
+	rel := paperRelation(t)
+
+	// Plain k-member 3-anonymization (what Table 2 shows).
+	res, err := core.Anonymize(rel, nil, core.Options{K: 3, Strategy: search.MinChoice, Rng: testRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.IsKAnonymous(res.Output, 3) {
+		t.Fatal("plain anonymization is not 3-anonymous")
+	}
+
+	// DIVA with an African-preserving constraint at k = 2 keeps it.
+	sigma := constraint.Set{constraint.New("ETH", "African", 2, 2)}
+	res2, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, _ := rel.Schema().Index("ETH")
+	african := 0
+	for i := 0; i < res2.Output.Len(); i++ {
+		if res2.Output.Value(i, eth) == "African" {
+			african++
+		}
+	}
+	if african != 2 {
+		t.Errorf("DIVA output has %d African values, want 2", african)
+	}
+}
+
+// TestUnsatisfiable checks the "relation does not exist" outcome: demanding
+// more Asians than exist cannot be satisfied.
+func TestUnsatisfiable(t *testing.T) {
+	rel := paperRelation(t)
+	sigma := constraint.Set{constraint.New("ETH", "Asian", 7, 10)}
+	_, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	if !errors.Is(err, core.ErrNoDiverseClustering) {
+		t.Fatalf("err = %v, want ErrNoDiverseClustering", err)
+	}
+}
+
+// TestSensitiveOnlyConstraint checks the suppression-invariant path: a
+// constraint on the sensitive DIAG attribute holds iff it holds in R.
+func TestSensitiveOnlyConstraint(t *testing.T) {
+	rel := paperRelation(t)
+
+	ok := constraint.Set{constraint.New("DIAG", "Hypertension", 2, 5)} // 3 occurrences
+	res, err := core.Anonymize(rel, ok, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	if err != nil {
+		t.Fatalf("satisfiable sensitive constraint rejected: %v", err)
+	}
+	if err := core.Verify(rel, res, ok, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := constraint.Set{constraint.New("DIAG", "Hypertension", 1, 2)} // 3 occurrences > 2
+	if _, err := core.Anonymize(rel, bad, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()}); !errors.Is(err, core.ErrNoDiverseClustering) {
+		t.Fatalf("err = %v, want ErrNoDiverseClustering", err)
+	}
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"diva/internal/core"
+	"diva/internal/metrics"
+	"diva/internal/relation"
+)
+
+func TestSuppressFormsQIGroups(t *testing.T) {
+	rel := paperRelation(t)
+	// Clusters: {t9, t10} (rows 8, 9) and {t5, t6} (rows 4, 5).
+	out := core.Suppress(rel, [][]int{{8, 9}, {4, 5}})
+	if out.Len() != 4 {
+		t.Fatalf("suppressed relation has %d tuples", out.Len())
+	}
+	if !metrics.IsKAnonymous(out, 2) {
+		t.Fatal("clusters did not become QI-groups")
+	}
+	// First cluster: Female/Asian shared; AGE, PRV, CTY differ.
+	schema := out.Schema()
+	gen, _ := schema.Index("GEN")
+	eth, _ := schema.Index("ETH")
+	age, _ := schema.Index("AGE")
+	if out.Value(0, gen) != "Female" || out.Value(0, eth) != "Asian" {
+		t.Fatalf("shared values suppressed: %v", out.Values(0))
+	}
+	if !out.IsSuppressed(0, age) {
+		t.Fatal("differing AGE not suppressed")
+	}
+	// Sensitive attribute survives verbatim.
+	diag, _ := schema.Index("DIAG")
+	if out.Value(0, diag) != "Influenza" {
+		t.Fatalf("sensitive value changed: %q", out.Value(0, diag))
+	}
+}
+
+func TestSuppressIdenticalClusterNoLoss(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "B", Role: relation.QI},
+	)
+	rel := relation.New(schema)
+	for i := 0; i < 3; i++ {
+		rel.MustAppendValues("x", "y")
+	}
+	out := core.Suppress(rel, [][]int{{0, 1, 2}})
+	if metrics.SuppressionLoss(out) != 0 {
+		t.Fatal("identical cluster suffered suppression")
+	}
+}
+
+func TestSuppressDropsIdentifiers(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "SSN", Role: relation.Identifier},
+		relation.Attribute{Name: "A", Role: relation.QI},
+	)
+	rel := relation.New(schema)
+	rel.MustAppendValues("123", "x")
+	rel.MustAppendValues("456", "x")
+	out := core.Suppress(rel, [][]int{{0, 1}})
+	for i := 0; i < out.Len(); i++ {
+		if out.Value(i, 0) != relation.Star {
+			t.Fatalf("identifier survived: %q", out.Value(i, 0))
+		}
+	}
+}
+
+func TestSuppressSkipsEmptyClusters(t *testing.T) {
+	rel := paperRelation(t)
+	out := core.Suppress(rel, [][]int{{}, {0, 1}})
+	if out.Len() != 2 {
+		t.Fatalf("empty cluster contributed tuples: %d", out.Len())
+	}
+}
+
+func TestRunBaselineIsKAnonymous(t *testing.T) {
+	rel := paperRelation(t)
+	for _, name := range []string{"k-member", "oka", "mondrian"} {
+		out, err := baselineByName(t, rel, name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !metrics.IsKAnonymous(out, 3) {
+			t.Fatalf("%s output not 3-anonymous", name)
+		}
+		if out.Len() != rel.Len() {
+			t.Fatalf("%s changed cardinality", name)
+		}
+		if err := metrics.VerifySuppressionOf(rel, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

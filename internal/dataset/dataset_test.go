@@ -1,0 +1,273 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"diva/internal/relation"
+)
+
+func TestSamplerRanges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, dist := range []Distribution{Uniform, Zipfian, Gaussian} {
+		for _, n := range []int{1, 2, 7, 100} {
+			s := NewSampler(n, dist)
+			for i := 0; i < 500; i++ {
+				v := s.Sample(rng)
+				if v < 0 || v >= n {
+					t.Fatalf("%s/%d: sample %d out of range", dist, n, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplerPanicsOnEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler(0) did not panic")
+		}
+	}()
+	NewSampler(0, Uniform)
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	s := NewSampler(20, Zipfian)
+	counts := make([]int, 20)
+	for i := 0; i < 20000; i++ {
+		counts[s.Sample(rng)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("zipf head %d not above tail %d", counts[0], counts[10])
+	}
+	// Head should carry roughly 1/H * w0 ≈ 20%+ of the mass.
+	if counts[0] < 3000 {
+		t.Fatalf("zipf head only %d of 20000", counts[0])
+	}
+}
+
+func TestGaussianCentering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	s := NewSampler(21, Gaussian)
+	counts := make([]int, 21)
+	for i := 0; i < 20000; i++ {
+		counts[s.Sample(rng)]++
+	}
+	if counts[10] <= counts[0] || counts[10] <= counts[20] {
+		t.Fatalf("gaussian not centred: head=%d mid=%d tail=%d", counts[0], counts[10], counts[20])
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	s := NewSampler(10, Uniform)
+	counts := make([]int, 10)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.15 {
+			t.Fatalf("uniform value %d drawn %d times", v, c)
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for name, want := range map[string]Distribution{
+		"uniform": Uniform, "Zipfian": Zipfian, "zipf": Zipfian,
+		"gaussian": Gaussian, "normal": Gaussian,
+	} {
+		got, err := ParseDistribution(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseDistribution("exponential"); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if Distribution(9).String() == "" {
+		t.Error("unknown distribution String empty")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := PopSyn(Zipfian).Generate(500, 42)
+	b := PopSyn(Zipfian).Generate(500, 42)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < a.Schema().Len(); j++ {
+			if a.Value(i, j) != b.Value(i, j) {
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a.Value(i, j), b.Value(i, j))
+			}
+		}
+	}
+	c := PopSyn(Zipfian).Generate(500, 43)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		for j := 0; j < a.Schema().Len(); j++ {
+			if a.Value(i, j) != c.Value(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical relations")
+	}
+}
+
+func TestProfilesMatchTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full-size datasets")
+	}
+	for name, p := range Profiles() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rel := p.Generator.Generate(p.DefaultRows, 42)
+			if rel.Len() != p.DefaultRows {
+				t.Fatalf("|R| = %d, want %d", rel.Len(), p.DefaultRows)
+			}
+			qi := rel.Schema().QIIndexes()
+			if len(qi) == 0 {
+				t.Fatal("no QI attributes")
+			}
+			distinct := rel.DistinctCount(qi)
+			lo := int(float64(p.TableQI) * 0.65)
+			hi := int(float64(p.TableQI) * 1.35)
+			if distinct < lo || distinct > hi {
+				t.Errorf("|Π_QI(R)| = %d, outside [%d, %d] around Table 4's %d", distinct, lo, hi, p.TableQI)
+			}
+		})
+	}
+}
+
+func TestProfileAttributeCounts(t *testing.T) {
+	want := map[string]int{"pantheon": 17, "census": 40, "credit": 20, "pop-syn": 7}
+	for name, p := range Profiles() {
+		if got := p.Generator.Schema().Len(); got != want[name] {
+			t.Errorf("%s: %d attributes, want %d (Table 4)", name, got, want[name])
+		}
+	}
+}
+
+func TestPantheonConflictCoupling(t *testing.T) {
+	rel := PantheonConflict(1).Generate(2000, 9)
+	schema := rel.Schema()
+	occIdx, _ := schema.Index("OCCUPATION")
+	indIdx, ok := schema.Index("INDUSTRY")
+	if !ok {
+		t.Fatal("INDUSTRY missing")
+	}
+	if schema.Attr(indIdx).Role != relation.QI {
+		t.Fatal("coupled INDUSTRY is not QI")
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if rel.Value(i, indIdx) != IndustryOf(rel.Value(i, occIdx)) {
+			t.Fatalf("row %d: coupling 1.0 violated", i)
+		}
+	}
+	// Coupling 0 must never produce coupled values.
+	rel0 := PantheonConflict(0).Generate(500, 9)
+	for i := 0; i < rel0.Len(); i++ {
+		if rel0.Value(i, indIdx) == IndustryOf(rel0.Value(i, occIdx)) {
+			t.Fatalf("row %d coupled at coupling 0", i)
+		}
+	}
+	// Plain Pantheon keeps INDUSTRY sensitive.
+	if plain := Pantheon().Schema(); func() relation.Role {
+		i, _ := plain.Index("INDUSTRY")
+		return plain.Attr(i).Role
+	}() != relation.Sensitive {
+		t.Fatal("plain Pantheon INDUSTRY role changed")
+	}
+}
+
+func TestDependentColumnDomains(t *testing.T) {
+	rel := PopSyn(Uniform).Generate(3000, 7)
+	prv, _ := rel.Schema().Index("PRV")
+	cty, _ := rel.Schema().Index("CTY")
+	for i := 0; i < rel.Len(); i++ {
+		p, c := rel.Value(i, prv), rel.Value(i, cty)
+		if len(c) <= len(p) || c[:len(p)] != p {
+			t.Fatalf("row %d: city %q not within province %q", i, c, p)
+		}
+	}
+}
+
+func TestSequenceColumnUnique(t *testing.T) {
+	rel := Pantheon().Generate(300, 1)
+	id, _ := rel.Schema().Index("CURID")
+	seen := map[string]bool{}
+	for i := 0; i < rel.Len(); i++ {
+		v := rel.Value(i, id)
+		if seen[v] {
+			t.Fatalf("duplicate identifier %q", v)
+		}
+		seen[v] = true
+	}
+	if rel.Schema().Attr(id).Role != relation.Identifier {
+		t.Fatal("CURID is not an identifier")
+	}
+}
+
+func TestBucketedNumericColumn(t *testing.T) {
+	g := &Generator{Name: "b", Columns: []Column{
+		BucketedNumericColumn("X", relation.QI, Uniform, 0, 99, 10),
+	}}
+	rel := g.Generate(500, 3)
+	x, _ := rel.Schema().Index("X")
+	if card := rel.Dict(x).Cardinality(); card > 10 {
+		t.Fatalf("bucketed cardinality %d > 10", card)
+	}
+	for i := 0; i < rel.Len(); i++ {
+		v, ok := rel.NumericValue(x, rel.Code(i, x))
+		if !ok || math.Mod(v, 10) != 0 {
+			t.Fatalf("row %d: %v not a bucket boundary", i, v)
+		}
+	}
+}
+
+func TestCorrelatedColumn(t *testing.T) {
+	g := &Generator{Name: "c", Columns: []Column{
+		CategoricalColumn("A", relation.QI, Uniform, "x", "y"),
+		CorrelatedColumn("B", relation.QI, 0, 0.5, func(s string) string { return "from-" + s }, "f1", "f2"),
+	}}
+	rel := g.Generate(4000, 11)
+	coupled := 0
+	for i := 0; i < rel.Len(); i++ {
+		if rel.Value(i, 1) == "from-"+rel.Value(i, 0) {
+			coupled++
+		}
+	}
+	frac := float64(coupled) / float64(rel.Len())
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("coupling fraction %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestPopSynDistributionsDiffer(t *testing.T) {
+	uni := PopSyn(Uniform).Generate(4000, 5)
+	zip := PopSyn(Zipfian).Generate(4000, 5)
+	eth, _ := uni.Schema().Index("ETH")
+	maxFrac := func(rel *relationT, a int) float64 {
+		best := 0
+		for code, n := range rel.ValueFrequencies(a) {
+			_ = code
+			if n > best {
+				best = n
+			}
+		}
+		return float64(best) / float64(rel.Len())
+	}
+	if maxFrac(zip, eth) <= maxFrac(uni, eth)+0.1 {
+		t.Fatalf("zipf head %v not clearly above uniform %v", maxFrac(zip, eth), maxFrac(uni, eth))
+	}
+}
+
+type relationT = relation.Relation

@@ -1,0 +1,368 @@
+// Package hierarchy implements value generalization hierarchies (VGHs) for
+// categorical and numeric attributes, the generalization counterpart to the
+// suppression model used by the paper ("suppression … is often considered
+// to be a maximal form of generalization that obscures a value completely",
+// Section 1).
+//
+// A Hierarchy maps each leaf value to a path of increasingly general
+// values; level 0 is the original value and the top level is the fully
+// suppressed ★. Generalization-based anonymizers replace cells by ancestors
+// instead of stars, and the package provides the standard loss measures for
+// that model: per-cell generalization loss (LM, Iyengar 2002) and the
+// normalized certainty penalty (NCP, Xu et al. 2006). Suppression is the
+// special case of generalizing straight to the top, which is how the rest
+// of this repository consumes hierarchies.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"diva/internal/relation"
+)
+
+// Hierarchy is a value generalization hierarchy for one attribute: a tree
+// whose leaves are domain values and whose root is the suppression marker.
+type Hierarchy struct {
+	attr string
+	// parent maps a value to its immediate generalization; the root (★)
+	// has no entry.
+	parent map[string]string
+	// leaves counts, per node, the number of leaf values it covers; used
+	// by the loss measures.
+	leaves map[string]int
+	// depth is the longest leaf-to-root path length.
+	depth int
+	// totalLeaves is the domain size at level 0.
+	totalLeaves int
+}
+
+// Attr returns the attribute name the hierarchy describes.
+func (h *Hierarchy) Attr() string { return h.attr }
+
+// Depth returns the longest leaf-to-root path length (a leaf whose parent
+// is the root has depth 1).
+func (h *Hierarchy) Depth() int { return h.depth }
+
+// Leaves returns the number of leaf values.
+func (h *Hierarchy) Leaves() int { return h.totalLeaves }
+
+// Builder assembles a Hierarchy from parent/child declarations.
+type Builder struct {
+	attr     string
+	parent   map[string]string
+	children map[string][]string
+}
+
+// NewBuilder starts a hierarchy for the named attribute.
+func NewBuilder(attr string) *Builder {
+	return &Builder{
+		attr:     attr,
+		parent:   make(map[string]string),
+		children: make(map[string][]string),
+	}
+}
+
+// Add declares that child generalizes to parent. Use relation.Star as the
+// top-level parent. Returns the builder for chaining.
+func (b *Builder) Add(parent string, children ...string) *Builder {
+	for _, c := range children {
+		b.parent[c] = parent
+		b.children[parent] = append(b.children[parent], c)
+	}
+	return b
+}
+
+// Build validates the hierarchy: every declared node must reach the root
+// (★) without cycles.
+func (b *Builder) Build() (*Hierarchy, error) {
+	h := &Hierarchy{
+		attr:   b.attr,
+		parent: make(map[string]string, len(b.parent)),
+		leaves: make(map[string]int),
+	}
+	for c, p := range b.parent {
+		h.parent[c] = p
+	}
+	// Identify leaves: values with no children.
+	var leaves []string
+	for c := range b.parent {
+		if len(b.children[c]) == 0 {
+			leaves = append(leaves, c)
+		}
+	}
+	sort.Strings(leaves)
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("hierarchy %s: no leaf values", b.attr)
+	}
+	h.totalLeaves = len(leaves)
+	// Walk every leaf to the root, accumulating coverage and depth.
+	for _, leaf := range leaves {
+		h.leaves[leaf]++
+		steps := 0
+		node := leaf
+		for node != relation.Star {
+			p, ok := h.parent[node]
+			if !ok {
+				return nil, fmt.Errorf("hierarchy %s: value %q does not reach %s", b.attr, leaf, relation.Star)
+			}
+			h.leaves[p]++
+			node = p
+			steps++
+			if steps > len(b.parent)+1 {
+				return nil, fmt.Errorf("hierarchy %s: cycle on the path from %q", b.attr, leaf)
+			}
+		}
+		if steps > h.depth {
+			h.depth = steps
+		}
+	}
+	return h, nil
+}
+
+// Flat returns the trivial two-level hierarchy over the given domain: every
+// value generalizes directly to ★. It models plain suppression.
+func Flat(attr string, values ...string) *Hierarchy {
+	b := NewBuilder(attr)
+	b.Add(relation.Star, values...)
+	h, err := b.Build()
+	if err != nil {
+		panic(err) // unreachable: a flat hierarchy is always well formed
+	}
+	return h
+}
+
+// Intervals returns a numeric hierarchy over [lo, hi]: level 0 is the
+// integer value, each level ℓ ≥ 1 groups values into intervals of width
+// base^ℓ (rendered "[a-b]"), topped by ★. For example Intervals("AGE", 0,
+// 99, 5, 2) produces 5-wide, 25-wide interval levels and ★.
+func Intervals(attr string, lo, hi, base, levels int) (*Hierarchy, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("hierarchy %s: hi %d < lo %d", attr, hi, lo)
+	}
+	if base < 2 || levels < 1 {
+		return nil, fmt.Errorf("hierarchy %s: need base ≥ 2 and levels ≥ 1", attr)
+	}
+	b := NewBuilder(attr)
+	nameAt := func(v, width int) string {
+		start := lo + (v-lo)/width*width
+		end := start + width - 1
+		if end > hi {
+			end = hi
+		}
+		return fmt.Sprintf("[%d-%d]", start, end)
+	}
+	for v := lo; v <= hi; v++ {
+		b.Add(nameAt(v, base), strconv.Itoa(v))
+	}
+	width := base
+	for level := 2; level <= levels; level++ {
+		next := width * base
+		seen := map[string]bool{}
+		for v := lo; v <= hi; v++ {
+			child := nameAt(v, width)
+			if seen[child] {
+				continue
+			}
+			seen[child] = true
+			b.Add(nameAt(v, next), child)
+		}
+		width = next
+	}
+	seen := map[string]bool{}
+	for v := lo; v <= hi; v++ {
+		top := nameAt(v, width)
+		if seen[top] {
+			continue
+		}
+		seen[top] = true
+		b.Add(relation.Star, top)
+	}
+	return b.Build()
+}
+
+// Generalize returns the ancestor of value exactly levels steps up (capped
+// at the root ★). Level 0 returns the value itself. Unknown values
+// generalize to ★ immediately.
+func (h *Hierarchy) Generalize(value string, levels int) string {
+	node := value
+	if _, ok := h.parent[node]; !ok && node != relation.Star {
+		return relation.Star
+	}
+	for i := 0; i < levels && node != relation.Star; i++ {
+		node = h.parent[node]
+	}
+	return node
+}
+
+// Level returns how many steps above the leaf level the given node sits,
+// or -1 if the node is unknown. ★ reports the hierarchy depth.
+func (h *Hierarchy) Level(value string) int {
+	if value == relation.Star {
+		return h.depth
+	}
+	if _, ok := h.leaves[value]; !ok {
+		return -1
+	}
+	// Height of a node = depth − distance to root, but with ragged trees
+	// we define level as the longest distance from any covered leaf.
+	longest := 0
+	for leaf := range h.parent {
+		if len(h.childrenOf(leaf)) > 0 {
+			continue
+		}
+		d := 0
+		node := leaf
+		for node != value && node != relation.Star {
+			node = h.parent[node]
+			d++
+		}
+		if node == value && d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+func (h *Hierarchy) childrenOf(value string) []string {
+	var out []string
+	for c, p := range h.parent {
+		if p == value {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LCA returns the least common ancestor of two values (★ when the values
+// share no earlier ancestor). Equal values are their own LCA.
+func (h *Hierarchy) LCA(a, bv string) string {
+	if a == bv {
+		return a
+	}
+	ancestors := map[string]bool{a: true}
+	node := a
+	for node != relation.Star {
+		p, ok := h.parent[node]
+		if !ok {
+			break
+		}
+		node = p
+		ancestors[node] = true
+	}
+	node = bv
+	for {
+		if ancestors[node] {
+			return node
+		}
+		p, ok := h.parent[node]
+		if !ok {
+			return relation.Star
+		}
+		node = p
+	}
+}
+
+// CellLoss returns the generalization loss of publishing node instead of a
+// leaf value: (leaves(node) − 1) / (|domain| − 1), the LM measure of
+// Iyengar. Leaf values cost 0; ★ costs 1. Domains of a single value never
+// lose anything.
+func (h *Hierarchy) CellLoss(node string) float64 {
+	if h.totalLeaves <= 1 {
+		return 0
+	}
+	if node == relation.Star {
+		return 1
+	}
+	covered, ok := h.leaves[node]
+	if !ok {
+		return 1
+	}
+	return float64(covered-1) / float64(h.totalLeaves-1)
+}
+
+// Set bundles hierarchies per attribute name.
+type Set map[string]*Hierarchy
+
+// For returns the hierarchy of the named attribute, or a nil hierarchy and
+// false.
+func (s Set) For(attr string) (*Hierarchy, bool) {
+	h, ok := s[attr]
+	return h, ok
+}
+
+// NCP computes the normalized certainty penalty of an anonymized relation
+// against the hierarchies: the mean CellLoss over all QI cells, in [0, 1].
+// QI attributes without a hierarchy fall back to the flat model (exact
+// value = 0, anything else = 1), which makes NCP of a purely
+// suppression-based output coincide with 1 − Accuracy.
+func NCP(rel *relation.Relation, hs Set) float64 {
+	schema := rel.Schema()
+	qi := schema.QIIndexes()
+	if rel.Len() == 0 || len(qi) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, a := range qi {
+		h, ok := hs.For(schema.Attr(a).Name)
+		for i := 0; i < rel.Len(); i++ {
+			v := rel.Value(i, a)
+			switch {
+			case ok:
+				total += h.CellLoss(v)
+			case v == relation.Star:
+				total++
+			}
+		}
+	}
+	return total / float64(rel.Len()*len(qi))
+}
+
+// GeneralizeColumn rewrites attribute attr of rel in place, lifting every
+// value the given number of levels in the hierarchy. It is the
+// generalization analogue of suppressing a column within a cluster, used by
+// generalization-based pipelines and tests.
+func GeneralizeColumn(rel *relation.Relation, attr string, h *Hierarchy, levels int) error {
+	idx, ok := rel.Schema().Index(attr)
+	if !ok {
+		return fmt.Errorf("hierarchy: relation has no attribute %q", attr)
+	}
+	for i := 0; i < rel.Len(); i++ {
+		v := rel.Value(i, idx)
+		g := h.Generalize(v, levels)
+		if g == v {
+			continue
+		}
+		if g == relation.Star {
+			rel.Suppress(i, idx)
+			continue
+		}
+		rel.SetCode(i, idx, rel.Dict(idx).Code(g))
+	}
+	return nil
+}
+
+// ParseTable reads a hierarchy from lines of "child -> parent" pairs (one
+// per line, '#' comments), with ★ (or "*") as the root.
+func ParseTable(attr, text string) (*Hierarchy, error) {
+	b := NewBuilder(attr)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "->")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("hierarchy %s: line %d: want \"child -> parent\", got %q", attr, ln+1, line)
+		}
+		child := strings.TrimSpace(parts[0])
+		parent := strings.TrimSpace(parts[1])
+		if child == "" || parent == "" {
+			return nil, fmt.Errorf("hierarchy %s: line %d: empty node name", attr, ln+1)
+		}
+		b.Add(parent, child)
+	}
+	return b.Build()
+}

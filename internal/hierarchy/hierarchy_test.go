@@ -1,0 +1,240 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+
+	"diva/internal/relation"
+)
+
+// geoHierarchy: city -> province -> region -> ★.
+func geoHierarchy(t testing.TB) *Hierarchy {
+	t.Helper()
+	h, err := NewBuilder("CTY").
+		Add(relation.Star, "West", "East").
+		Add("West", "BC", "AB").
+		Add("East", "ON", "QC").
+		Add("BC", "Vancouver", "Victoria").
+		Add("AB", "Calgary", "Edmonton").
+		Add("ON", "Toronto", "Ottawa").
+		Add("QC", "Montreal").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestBuildAndShape(t *testing.T) {
+	h := geoHierarchy(t)
+	if h.Attr() != "CTY" {
+		t.Fatalf("Attr = %q", h.Attr())
+	}
+	if h.Depth() != 3 {
+		t.Fatalf("Depth = %d", h.Depth())
+	}
+	if h.Leaves() != 7 {
+		t.Fatalf("Leaves = %d", h.Leaves())
+	}
+}
+
+func TestBuildRejectsOrphans(t *testing.T) {
+	_, err := NewBuilder("X").Add("parent-not-connected", "leaf").Build()
+	if err == nil {
+		t.Fatal("orphan hierarchy accepted")
+	}
+}
+
+func TestBuildRejectsCycle(t *testing.T) {
+	_, err := NewBuilder("X").Add("a", "b").Add("b", "a").Build()
+	if err == nil {
+		t.Fatal("cyclic hierarchy accepted")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	h := geoHierarchy(t)
+	cases := []struct {
+		value  string
+		levels int
+		want   string
+	}{
+		{"Vancouver", 0, "Vancouver"},
+		{"Vancouver", 1, "BC"},
+		{"Vancouver", 2, "West"},
+		{"Vancouver", 3, relation.Star},
+		{"Vancouver", 99, relation.Star},
+		{"Montreal", 2, "East"},
+		{"unknown-city", 1, relation.Star},
+	}
+	for _, tc := range cases {
+		if got := h.Generalize(tc.value, tc.levels); got != tc.want {
+			t.Errorf("Generalize(%q, %d) = %q, want %q", tc.value, tc.levels, got, tc.want)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	h := geoHierarchy(t)
+	cases := []struct{ a, b, want string }{
+		{"Vancouver", "Victoria", "BC"},
+		{"Vancouver", "Calgary", "West"},
+		{"Vancouver", "Toronto", relation.Star},
+		{"Vancouver", "Vancouver", "Vancouver"},
+		{"BC", "Calgary", "West"},
+	}
+	for _, tc := range cases {
+		if got := h.LCA(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCA(%q, %q) = %q, want %q", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCellLoss(t *testing.T) {
+	h := geoHierarchy(t)
+	if got := h.CellLoss("Vancouver"); got != 0 {
+		t.Fatalf("leaf loss = %v", got)
+	}
+	if got := h.CellLoss(relation.Star); got != 1 {
+		t.Fatalf("star loss = %v", got)
+	}
+	// BC covers 2 of 7 leaves: (2−1)/(7−1) = 1/6.
+	if got := h.CellLoss("BC"); math.Abs(got-1.0/6) > 1e-12 {
+		t.Fatalf("BC loss = %v", got)
+	}
+	// West covers 4 leaves: 3/6.
+	if got := h.CellLoss("West"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("West loss = %v", got)
+	}
+	if got := h.CellLoss("not-a-node"); got != 1 {
+		t.Fatalf("unknown node loss = %v", got)
+	}
+}
+
+func TestLevel(t *testing.T) {
+	h := geoHierarchy(t)
+	for value, want := range map[string]int{
+		"Vancouver":   0,
+		"BC":          1,
+		"West":        2,
+		relation.Star: 3,
+	} {
+		if got := h.Level(value); got != want {
+			t.Errorf("Level(%q) = %d, want %d", value, got, want)
+		}
+	}
+	if h.Level("nope") != -1 {
+		t.Error("unknown value has a level")
+	}
+}
+
+func TestFlat(t *testing.T) {
+	h := Flat("GEN", "Male", "Female")
+	if h.Depth() != 1 || h.Leaves() != 2 {
+		t.Fatalf("flat shape: depth=%d leaves=%d", h.Depth(), h.Leaves())
+	}
+	if h.Generalize("Male", 1) != relation.Star {
+		t.Fatal("flat generalization is not suppression")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	h, err := Intervals("AGE", 0, 99, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Leaves() != 100 {
+		t.Fatalf("Leaves = %d", h.Leaves())
+	}
+	if got := h.Generalize("37", 1); got != "[30-39]" {
+		t.Fatalf("level-1 = %q", got)
+	}
+	if got := h.Generalize("37", 2); got != "[0-99]" {
+		t.Fatalf("level-2 = %q", got)
+	}
+	if got := h.Generalize("37", 3); got != relation.Star {
+		t.Fatalf("level-3 = %q", got)
+	}
+	// Interval loss: [30-39] covers 10 of 100 leaves → 9/99.
+	if got := h.CellLoss("[30-39]"); math.Abs(got-9.0/99) > 1e-12 {
+		t.Fatalf("interval loss = %v", got)
+	}
+	if _, err := Intervals("X", 5, 1, 10, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Intervals("X", 0, 9, 1, 2); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+}
+
+func TestNCPMatchesAccuracyOnSuppression(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "B", Role: relation.QI},
+	)
+	rel := relation.New(schema)
+	rel.MustAppendValues("x", "y")
+	rel.MustAppendValues("u", "v")
+	rel.Suppress(0, 0)
+	// Without hierarchies: NCP = fraction of suppressed QI cells = 1/4.
+	if got := NCP(rel, nil); got != 0.25 {
+		t.Fatalf("NCP = %v, want 0.25", got)
+	}
+}
+
+func TestNCPWithHierarchy(t *testing.T) {
+	schema := relation.MustSchema(relation.Attribute{Name: "CTY", Role: relation.QI})
+	rel := relation.New(schema)
+	rel.MustAppendValues("Vancouver")
+	rel.MustAppendValues("BC") // generalized cell
+	h := geoHierarchy(t)
+	got := NCP(rel, Set{"CTY": h})
+	want := (0 + 1.0/6) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NCP = %v, want %v", got, want)
+	}
+}
+
+func TestGeneralizeColumn(t *testing.T) {
+	schema := relation.MustSchema(relation.Attribute{Name: "CTY", Role: relation.QI})
+	rel := relation.New(schema)
+	rel.MustAppendValues("Vancouver")
+	rel.MustAppendValues("Toronto")
+	h := geoHierarchy(t)
+	if err := GeneralizeColumn(rel, "CTY", h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Value(0, 0) != "BC" || rel.Value(1, 0) != "ON" {
+		t.Fatalf("generalized to %q, %q", rel.Value(0, 0), rel.Value(1, 0))
+	}
+	if err := GeneralizeColumn(rel, "CTY", h, 99); err != nil {
+		t.Fatal(err)
+	}
+	if !rel.IsSuppressed(0, 0) {
+		t.Fatal("over-generalization did not suppress")
+	}
+	if err := GeneralizeColumn(rel, "NOPE", h, 1); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	h, err := ParseTable("CTY", `
+# a small geography
+Vancouver -> BC
+Victoria  -> BC
+BC        -> *
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Generalize("Vancouver", 1) != "BC" || h.Generalize("Vancouver", 2) != relation.Star {
+		t.Fatal("parsed hierarchy wrong")
+	}
+	if _, err := ParseTable("X", "a b c"); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ParseTable("X", " -> parent"); err == nil {
+		t.Fatal("empty child accepted")
+	}
+}

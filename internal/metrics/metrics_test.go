@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"diva/internal/relation"
+)
+
+func twoAttrSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "B", Role: relation.QI},
+		relation.Attribute{Name: "S", Role: relation.Sensitive},
+	)
+}
+
+func buildRel(t testing.TB, rows [][]string) *relation.Relation {
+	t.Helper()
+	rel := relation.New(twoAttrSchema())
+	for _, r := range rows {
+		rel.MustAppendValues(r...)
+	}
+	return rel
+}
+
+func TestSuppressionLossAndAccuracy(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", "y", "s1"},
+		{"x", "y", "s2"},
+	})
+	if SuppressionLoss(rel) != 0 {
+		t.Fatal("fresh relation has loss")
+	}
+	if Accuracy(rel) != 1 {
+		t.Fatalf("fresh accuracy = %v", Accuracy(rel))
+	}
+	rel.Suppress(0, 0)
+	rel.Suppress(1, 1)
+	if got := SuppressionLoss(rel); got != 2 {
+		t.Fatalf("loss = %d", got)
+	}
+	if got := Accuracy(rel); got != 0.5 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	// Sensitive suppression does not count as QI loss.
+	rel.Suppress(0, 2)
+	if got := SuppressionLoss(rel); got != 2 {
+		t.Fatalf("loss after sensitive suppression = %d", got)
+	}
+}
+
+func TestAccuracyEmptyRelation(t *testing.T) {
+	rel := relation.New(twoAttrSchema())
+	if Accuracy(rel) != 1 {
+		t.Fatalf("empty accuracy = %v", Accuracy(rel))
+	}
+}
+
+func TestDiscernibility(t *testing.T) {
+	// Two groups of 2 and one singleton, n = 5, k = 2:
+	// 2² + 2² + 1·5 = 13.
+	rel := buildRel(t, [][]string{
+		{"x", "y", "s"},
+		{"x", "y", "s"},
+		{"u", "v", "s"},
+		{"u", "v", "s"},
+		{"lone", "w", "s"},
+	})
+	if got := Discernibility(rel, 2); got != 13 {
+		t.Fatalf("disc = %d, want 13", got)
+	}
+	// With k = 1 every group is fine: 4 + 4 + 1 = 9.
+	if got := Discernibility(rel, 1); got != 9 {
+		t.Fatalf("disc k=1 = %d, want 9", got)
+	}
+}
+
+func TestIsKAnonymous(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", "y", "s"},
+		{"x", "y", "s"},
+		{"x", "y", "s"},
+		{"u", "v", "s"},
+		{"u", "v", "s"},
+	})
+	if !IsKAnonymous(rel, 2) {
+		t.Fatal("2-anonymous relation rejected")
+	}
+	if IsKAnonymous(rel, 3) {
+		t.Fatal("non-3-anonymous relation accepted")
+	}
+	if !IsKAnonymous(rel, 1) || !IsKAnonymous(rel, 0) {
+		t.Fatal("k ≤ 1 must always hold")
+	}
+	if !IsKAnonymous(relation.New(twoAttrSchema()), 5) {
+		t.Fatal("empty relation must be k-anonymous")
+	}
+	if got := SmallestQIGroup(rel); got != 2 {
+		t.Fatalf("SmallestQIGroup = %d", got)
+	}
+}
+
+func TestVerifySuppressionOfAcceptsReordering(t *testing.T) {
+	orig := buildRel(t, [][]string{
+		{"x", "y", "s1"},
+		{"u", "v", "s2"},
+	})
+	anon := buildRel(t, [][]string{
+		{"u", relation.Star, "s2"},
+		{relation.Star, "y", "s1"},
+	})
+	if err := VerifySuppressionOf(orig, anon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySuppressionOfRejectsValueChange(t *testing.T) {
+	orig := buildRel(t, [][]string{{"x", "y", "s1"}})
+	anon := buildRel(t, [][]string{{"z", "y", "s1"}})
+	if err := VerifySuppressionOf(orig, anon); err == nil {
+		t.Fatal("changed value accepted")
+	}
+}
+
+func TestVerifySuppressionOfRejectsSensitiveSuppression(t *testing.T) {
+	orig := buildRel(t, [][]string{{"x", "y", "s1"}})
+	anon := buildRel(t, [][]string{{"x", "y", relation.Star}})
+	if err := VerifySuppressionOf(orig, anon); err == nil {
+		t.Fatal("suppressed sensitive cell accepted")
+	}
+}
+
+func TestVerifySuppressionOfRejectsCardinalityChange(t *testing.T) {
+	orig := buildRel(t, [][]string{{"x", "y", "s1"}, {"u", "v", "s2"}})
+	anon := buildRel(t, [][]string{{"x", "y", "s1"}})
+	if err := VerifySuppressionOf(orig, anon); err == nil {
+		t.Fatal("dropped tuple accepted")
+	}
+}
+
+func TestVerifySuppressionOfNeedsMatching(t *testing.T) {
+	// Two identical originals, two anonymized rows where both anonymized
+	// rows can only map to the same original: matching must fail.
+	orig := buildRel(t, [][]string{
+		{"x", "y", "s1"},
+		{"x", "z", "s1"},
+	})
+	anon := buildRel(t, [][]string{
+		{"x", "y", "s1"},
+		{"x", "y", "s1"},
+	})
+	if err := VerifySuppressionOf(orig, anon); err == nil {
+		t.Fatal("double-mapped tuple accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", "y", "s"},
+		{"x", "y", "s"},
+	})
+	rel.Suppress(0, 0)
+	rel.Suppress(1, 0)
+	rep := Summarize(rel, 2)
+	if !rep.KAnonymous || rep.SuppressedQI != 2 || rep.QIGroups != 1 || rep.SmallestGroup != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+// Property: for any k-anonymous relation, disc(R, k) ≥ k·|R| (each tuple is
+// indistinguishable from at least k tuples including itself... each group
+// of size g ≥ k contributes g² ≥ g·k).
+func TestDiscernibilityLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 15))
+	for trial := 0; trial < 60; trial++ {
+		rel := relation.New(twoAttrSchema())
+		k := 1 + rng.IntN(4)
+		groups := 1 + rng.IntN(5)
+		n := 0
+		for g := 0; g < groups; g++ {
+			size := k + rng.IntN(4)
+			for i := 0; i < size; i++ {
+				rel.MustAppendValues("a"+strconv.Itoa(g), "b"+strconv.Itoa(g), "s")
+				n++
+			}
+		}
+		if !IsKAnonymous(rel, k) {
+			t.Fatal("constructed relation not k-anonymous")
+		}
+		if disc := Discernibility(rel, k); disc < k*n {
+			t.Fatalf("disc = %d < k·n = %d", disc, k*n)
+		}
+	}
+}
+
+// Property: accuracy is always in [0, 1] and decreases monotonically as
+// cells are suppressed.
+func TestAccuracyMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + int(nRaw)%30
+		rel := relation.New(twoAttrSchema())
+		for i := 0; i < n; i++ {
+			rel.MustAppendValues("a"+strconv.Itoa(rng.IntN(5)), "b"+strconv.Itoa(rng.IntN(5)), "s")
+		}
+		prev := Accuracy(rel)
+		if prev != 1 {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			rel.Suppress(rng.IntN(n), rng.IntN(2))
+			acc := Accuracy(rel)
+			if acc < 0 || acc > 1 || acc > prev+1e-12 {
+				return false
+			}
+			prev = acc
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"diva/internal/relation"
+)
+
+func riskRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	// Groups: {x,y}×4, {u,v}×2, {lone,w}×1.
+	rel := buildRel(t, [][]string{
+		{"x", "y", "s"}, {"x", "y", "s"}, {"x", "y", "s"}, {"x", "y", "s"},
+		{"u", "v", "s"}, {"u", "v", "s"},
+		{"lone", "w", "s"},
+	})
+	return rel
+}
+
+func TestReidentificationRisk(t *testing.T) {
+	rel := riskRelation(t)
+	r := ReidentificationRisk(rel)
+	if r.MaxRisk != 1 {
+		t.Fatalf("MaxRisk = %v (a unique tuple exists)", r.MaxRisk)
+	}
+	if r.UniqueTuples != 1 {
+		t.Fatalf("UniqueTuples = %d", r.UniqueTuples)
+	}
+	// 3 groups / 7 tuples.
+	if math.Abs(r.AvgRisk-3.0/7) > 1e-12 {
+		t.Fatalf("AvgRisk = %v", r.AvgRisk)
+	}
+}
+
+func TestRiskEmptyRelation(t *testing.T) {
+	rel := relation.New(twoAttrSchema())
+	if r := ReidentificationRisk(rel); r.MaxRisk != 0 || r.AvgRisk != 0 {
+		t.Fatalf("empty risk = %+v", r)
+	}
+}
+
+func TestTuplesAtRisk(t *testing.T) {
+	rel := riskRelation(t)
+	// Risk > 0.4: groups smaller than 2.5, i.e. sizes 1 and 2 → 3 tuples.
+	if got := TuplesAtRisk(rel, 0.4); got != 3 {
+		t.Fatalf("TuplesAtRisk(0.4) = %d", got)
+	}
+	// Risk > 0.6: only the singleton.
+	if got := TuplesAtRisk(rel, 0.6); got != 1 {
+		t.Fatalf("TuplesAtRisk(0.6) = %d", got)
+	}
+	if got := TuplesAtRisk(rel, 0); got != rel.Len() {
+		t.Fatalf("TuplesAtRisk(0) = %d", got)
+	}
+}
+
+func TestGroupSizeHistogram(t *testing.T) {
+	rel := riskRelation(t)
+	hist := GroupSizeHistogram(rel)
+	want := []GroupSizeBucket{{1, 1, 1}, {2, 1, 2}, {4, 1, 4}}
+	if len(hist) != len(want) {
+		t.Fatalf("hist = %+v", hist)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist[%d] = %+v, want %+v", i, hist[i], want[i])
+		}
+	}
+}
+
+func TestPerAttributeLoss(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", relation.Star, "s"},
+		{relation.Star, relation.Star, "s"},
+	})
+	loss := PerAttributeLoss(rel)
+	if len(loss) != 2 {
+		t.Fatalf("loss = %+v", loss)
+	}
+	if loss[0].Attr != "A" || loss[0].Suppressed != 1 || loss[0].Fraction != 0.5 {
+		t.Fatalf("loss[A] = %+v", loss[0])
+	}
+	if loss[1].Suppressed != 2 || loss[1].Fraction != 1 {
+		t.Fatalf("loss[B] = %+v", loss[1])
+	}
+}

@@ -1,0 +1,108 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"diva/internal/relation"
+)
+
+// EntropyLDiversity requires, for every sensitive attribute, the entropy of
+// the group's sensitive-value distribution to be at least log(L):
+//
+//	−Σ p(v)·log p(v) ≥ log L
+//
+// (Machanavajjhala et al., ICDE 2006, Definition 3.1). It is strictly
+// stronger than distinct l-diversity with the same L: entropy log L needs
+// at least L distinct values *and* a reasonably flat distribution over
+// them.
+type EntropyLDiversity struct{ L int }
+
+// Name implements Criterion.
+func (c EntropyLDiversity) Name() string { return fmt.Sprintf("entropy %d-diversity", c.L) }
+
+// Holds implements Criterion.
+func (c EntropyLDiversity) Holds(rel *relation.Relation, group []int) bool {
+	if c.L <= 1 {
+		return true
+	}
+	if len(group) < c.L {
+		return false
+	}
+	threshold := math.Log(float64(c.L))
+	for _, a := range rel.Schema().SensitiveIndexes() {
+		counts := make(map[uint32]int, c.L)
+		for _, row := range group {
+			counts[rel.Code(row, a)]++
+		}
+		n := float64(len(group))
+		entropy := 0.0
+		for _, cnt := range counts {
+			p := float64(cnt) / n
+			entropy -= p * math.Log(p)
+		}
+		// Guard against float rounding at exact uniformity: entropy of a
+		// perfectly uniform L-value distribution must pass log L.
+		if entropy+1e-12 < threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// Monotone implements Criterion. Entropy l-diversity is not monotone:
+// absorbing many tuples of one sensitive value lowers the entropy below
+// log L even if the group satisfied it before.
+func (c EntropyLDiversity) Monotone() bool { return false }
+
+// RecursiveCLDiversity is recursive (c, l)-diversity (Machanavajjhala et
+// al., Definition 3.2): with sensitive-value counts of a group sorted
+// descending as r1 ≥ r2 ≥ …, the group qualifies iff
+//
+//	r1 < C · (r_l + r_{l+1} + … + r_m)
+//
+// for every sensitive attribute — the most frequent sensitive value must
+// not dominate the tail beyond factor C.
+type RecursiveCLDiversity struct {
+	C float64
+	L int
+}
+
+// Name implements Criterion.
+func (c RecursiveCLDiversity) Name() string {
+	return fmt.Sprintf("recursive (%.1f, %d)-diversity", c.C, c.L)
+}
+
+// Holds implements Criterion.
+func (c RecursiveCLDiversity) Holds(rel *relation.Relation, group []int) bool {
+	if c.L <= 1 {
+		return true
+	}
+	for _, a := range rel.Schema().SensitiveIndexes() {
+		counts := make(map[uint32]int)
+		for _, row := range group {
+			counts[rel.Code(row, a)]++
+		}
+		if len(counts) < c.L {
+			return false
+		}
+		sorted := make([]int, 0, len(counts))
+		for _, cnt := range counts {
+			sorted = append(sorted, cnt)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		tail := 0
+		for i := c.L - 1; i < len(sorted); i++ {
+			tail += sorted[i]
+		}
+		if float64(sorted[0]) >= c.C*float64(tail) {
+			return false
+		}
+	}
+	return true
+}
+
+// Monotone implements Criterion. Recursive (c, l)-diversity is not
+// monotone for the same reason as the entropy variant.
+func (c RecursiveCLDiversity) Monotone() bool { return false }

@@ -1,0 +1,157 @@
+package privacy
+
+import (
+	"strconv"
+	"testing"
+
+	"diva/internal/relation"
+)
+
+func diagSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "DIAG", Role: relation.Sensitive},
+	)
+}
+
+func buildRel(t testing.TB, rows [][]string) *relation.Relation {
+	t.Helper()
+	rel := relation.New(diagSchema())
+	for _, r := range rows {
+		rel.MustAppendValues(r...)
+	}
+	return rel
+}
+
+func TestKAnonymityCriterion(t *testing.T) {
+	rel := buildRel(t, [][]string{{"x", "d1"}, {"x", "d2"}})
+	c := KAnonymity{K: 2}
+	if !c.Holds(rel, []int{0, 1}) || c.Holds(rel, []int{0}) {
+		t.Fatal("KAnonymity.Holds wrong")
+	}
+	if !c.Monotone() {
+		t.Fatal("k-anonymity must be monotone")
+	}
+	if c.Name() != "2-anonymity" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestDistinctLDiversity(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", "d1"}, {"x", "d1"}, {"x", "d2"}, {"x", "d3"},
+	})
+	l2 := DistinctLDiversity{L: 2}
+	if l2.Holds(rel, []int{0, 1}) {
+		t.Fatal("uniform sensitive group passed 2-diversity")
+	}
+	if !l2.Holds(rel, []int{0, 2}) {
+		t.Fatal("2-distinct group failed 2-diversity")
+	}
+	l3 := DistinctLDiversity{L: 3}
+	if l3.Holds(rel, []int{0, 1, 2}) {
+		t.Fatal("2-distinct group passed 3-diversity")
+	}
+	if !l3.Holds(rel, []int{1, 2, 3}) {
+		t.Fatal("3-distinct group failed 3-diversity")
+	}
+	// Groups smaller than L can never qualify.
+	if l3.Holds(rel, []int{2, 3}) {
+		t.Fatal("group smaller than L passed")
+	}
+	// L ≤ 1 is trivially satisfied.
+	if !(DistinctLDiversity{L: 1}).Holds(rel, []int{0}) {
+		t.Fatal("1-diversity must always hold")
+	}
+	if !l2.Monotone() {
+		t.Fatal("distinct l-diversity must be monotone")
+	}
+}
+
+func TestDistinctLDiversityMonotoneProperty(t *testing.T) {
+	// Adding rows never breaks it.
+	rel := relation.New(diagSchema())
+	for i := 0; i < 30; i++ {
+		rel.MustAppendValues("x", "d"+strconv.Itoa(i%4))
+	}
+	c := DistinctLDiversity{L: 3}
+	group := []int{0, 1, 2} // d0, d1, d2 → holds
+	if !c.Holds(rel, group) {
+		t.Fatal("setup broken")
+	}
+	for i := 3; i < 30; i++ {
+		group = append(group, i)
+		if !c.Holds(rel, group) {
+			t.Fatalf("adding row %d broke monotone criterion", i)
+		}
+	}
+}
+
+func TestTCloseness(t *testing.T) {
+	// Global: d1 50%, d2 50%.
+	rel := buildRel(t, [][]string{
+		{"x", "d1"}, {"x", "d1"}, {"y", "d2"}, {"y", "d2"},
+	})
+	tight := NewTCloseness(rel, 0.1)
+	loose := NewTCloseness(rel, 0.6)
+	// A pure-d1 group has TV distance 0.5 from the global 50/50.
+	if tight.Holds(rel, []int{0, 1}) {
+		t.Fatal("skewed group passed 0.1-closeness")
+	}
+	if !loose.Holds(rel, []int{0, 1}) {
+		t.Fatal("skewed group failed 0.6-closeness")
+	}
+	// A balanced group matches the global distribution exactly.
+	if !tight.Holds(rel, []int{0, 2}) {
+		t.Fatal("balanced group failed 0.1-closeness")
+	}
+	if tight.Monotone() {
+		t.Fatal("t-closeness must not claim monotonicity")
+	}
+	if !tight.Holds(rel, nil) {
+		t.Fatal("empty group must hold")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", "d1"}, {"x", "d2"}, {"x", "d1"},
+	})
+	c := Composite{KAnonymity{K: 2}, DistinctLDiversity{L: 2}}
+	if !c.Holds(rel, []int{0, 1}) {
+		t.Fatal("satisfying group rejected")
+	}
+	if c.Holds(rel, []int{0, 2}) { // 2 tuples but only d1
+		t.Fatal("uniform group accepted")
+	}
+	if c.Holds(rel, []int{0}) {
+		t.Fatal("singleton accepted")
+	}
+	if !c.Monotone() {
+		t.Fatal("composite of monotone criteria must be monotone")
+	}
+	withT := Composite{KAnonymity{K: 2}, NewTCloseness(rel, 0.3)}
+	if withT.Monotone() {
+		t.Fatal("composite with t-closeness must not be monotone")
+	}
+	if c.Name() == "" || withT.Name() == "" {
+		t.Fatal("empty composite name")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	rel := buildRel(t, [][]string{
+		{"x", "d1"}, {"x", "d2"},
+		{"y", "d1"}, {"y", "d1"}, // uniform sensitive group
+	})
+	if ok, _ := Satisfies(rel, KAnonymity{K: 2}); !ok {
+		t.Fatal("2-anonymous relation rejected")
+	}
+	ok, group := Satisfies(rel, DistinctLDiversity{L: 2})
+	if ok {
+		t.Fatal("l-diversity violation missed")
+	}
+	if len(group) != 2 || group[0] != 2 {
+		t.Fatalf("violating group = %v", group)
+	}
+}

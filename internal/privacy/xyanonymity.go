@@ -1,0 +1,76 @@
+package privacy
+
+import (
+	"fmt"
+	"strings"
+
+	"diva/internal/relation"
+)
+
+// XYAnonymity is (X, Y)-anonymity (Wang & Fung, KDD 2006): every value
+// combination on the attribute set X must be linked to at least K distinct
+// value combinations on the attribute set Y. k-anonymity is the special
+// case where X is the QI set and Y a tuple identifier; with Y a set of
+// sensitive attributes it bounds attribute linkage instead.
+//
+// As a group Criterion — evaluated on one prospective QI-group, whose
+// tuples by construction agree on the QI attributes — the X side is the
+// group itself and the requirement reduces to: the group carries at least
+// K distinct Y-combinations. Build it with NewXYAnonymity, which resolves
+// the Y attribute names against a schema.
+type XYAnonymity struct {
+	K int
+	// yAttrs are the resolved positions of Y.
+	yAttrs []int
+	yNames []string
+}
+
+// NewXYAnonymity resolves the Y attribute names against rel's schema.
+func NewXYAnonymity(rel *relation.Relation, k int, yAttrs ...string) (*XYAnonymity, error) {
+	if len(yAttrs) == 0 {
+		return nil, fmt.Errorf("privacy: (X,Y)-anonymity needs at least one Y attribute")
+	}
+	c := &XYAnonymity{K: k, yNames: yAttrs}
+	schema := rel.Schema()
+	for _, name := range yAttrs {
+		idx, ok := schema.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("privacy: (X,Y)-anonymity: attribute %q not in schema", name)
+		}
+		c.yAttrs = append(c.yAttrs, idx)
+	}
+	return c, nil
+}
+
+// Name implements Criterion.
+func (c *XYAnonymity) Name() string {
+	return fmt.Sprintf("(X, {%s})-anonymity with k=%d", strings.Join(c.yNames, ","), c.K)
+}
+
+// Holds implements Criterion.
+func (c *XYAnonymity) Holds(rel *relation.Relation, group []int) bool {
+	if c.K <= 1 {
+		return true
+	}
+	if len(group) < c.K {
+		return false
+	}
+	distinct := make(map[string]struct{}, c.K)
+	buf := make([]byte, 0, len(c.yAttrs)*4)
+	for _, row := range group {
+		buf = buf[:0]
+		for _, a := range c.yAttrs {
+			code := rel.Code(row, a)
+			buf = append(buf, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+		}
+		distinct[string(buf)] = struct{}{}
+		if len(distinct) >= c.K {
+			return true
+		}
+	}
+	return false
+}
+
+// Monotone implements Criterion: adding tuples to a group can only add
+// Y-combinations.
+func (c *XYAnonymity) Monotone() bool { return true }

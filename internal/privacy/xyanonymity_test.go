@@ -1,0 +1,100 @@
+package privacy
+
+import (
+	"testing"
+
+	"diva/internal/relation"
+)
+
+func xySchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "Y1", Role: relation.Sensitive},
+		relation.Attribute{Name: "Y2", Role: relation.Sensitive},
+	)
+}
+
+func TestXYAnonymity(t *testing.T) {
+	rel := relation.New(xySchema())
+	rows := [][]string{
+		{"x", "a", "p"},
+		{"x", "a", "p"}, // duplicate Y-combination
+		{"x", "b", "p"},
+		{"x", "b", "q"},
+	}
+	for _, r := range rows {
+		rel.MustAppendValues(r...)
+	}
+
+	c2, err := NewXYAnonymity(rel, 2, "Y1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Holds(rel, []int{0, 2}) { // Y1 values a, b
+		t.Fatal("2 distinct Y1 values rejected")
+	}
+	if c2.Holds(rel, []int{0, 1}) { // Y1 values a, a
+		t.Fatal("1 distinct Y1 value accepted")
+	}
+
+	// Multi-attribute Y: (a,p), (a,p), (b,p), (b,q) → 3 distinct combos.
+	c3, err := NewXYAnonymity(rel, 3, "Y1", "Y2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c3.Holds(rel, []int{0, 1, 2, 3}) {
+		t.Fatal("3 distinct (Y1,Y2) combos rejected")
+	}
+	c4, _ := NewXYAnonymity(rel, 4, "Y1", "Y2")
+	if c4.Holds(rel, []int{0, 1, 2, 3}) {
+		t.Fatal("only 3 combos but k=4 accepted")
+	}
+
+	if !c2.Monotone() {
+		t.Fatal("(X,Y)-anonymity must be monotone")
+	}
+	if c2.Name() == "" {
+		t.Fatal("empty name")
+	}
+	// Trivial and degenerate cases.
+	c1, _ := NewXYAnonymity(rel, 1, "Y1")
+	if !c1.Holds(rel, []int{0}) {
+		t.Fatal("k=1 must always hold")
+	}
+	if c2.Holds(rel, []int{0}) {
+		t.Fatal("group smaller than k accepted")
+	}
+}
+
+func TestXYAnonymityErrors(t *testing.T) {
+	rel := relation.New(xySchema())
+	if _, err := NewXYAnonymity(rel, 2); err == nil {
+		t.Fatal("empty Y accepted")
+	}
+	if _, err := NewXYAnonymity(rel, 2, "NOPE"); err == nil {
+		t.Fatal("unknown Y attribute accepted")
+	}
+}
+
+func TestXYAnonymityAsKMemberCriterion(t *testing.T) {
+	// (X,Y)-anonymity is monotone, so the greedy growers may enforce it;
+	// spot-check via Satisfies on a handcrafted relation.
+	rel := relation.New(xySchema())
+	for i := 0; i < 4; i++ {
+		rel.MustAppendValues("g1", []string{"a", "b"}[i%2], "p")
+	}
+	for i := 0; i < 3; i++ {
+		rel.MustAppendValues("g2", "a", "p") // one Y-combination only
+	}
+	c, err := NewXYAnonymity(rel, 2, "Y1", "Y2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, group := Satisfies(rel, c)
+	if ok {
+		t.Fatal("g2 violates (X,Y)-anonymity but passed")
+	}
+	if len(group) != 3 {
+		t.Fatalf("violating group = %v", group)
+	}
+}

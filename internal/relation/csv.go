@@ -1,0 +1,176 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadCSV loads a relation from CSV data whose header row matches the given
+// schema's attribute names (order-insensitive: columns are matched by name,
+// extra columns are ignored, missing columns are an error).
+func ReadCSV(r io.Reader, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	colFor := make([]int, schema.Len())
+	for i := range colFor {
+		colFor[i] = -1
+	}
+	for col, name := range header {
+		if i, ok := schema.Index(strings.TrimSpace(name)); ok {
+			colFor[i] = col
+		}
+	}
+	for i, col := range colFor {
+		if col < 0 {
+			return nil, fmt.Errorf("relation: CSV is missing attribute %q", schema.Attr(i).Name)
+		}
+	}
+	rel := New(schema)
+	values := make([]string, schema.Len())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		for i, col := range colFor {
+			if col >= len(rec) {
+				return nil, fmt.Errorf("relation: CSV line %d has %d fields, need column %d", line, len(rec), col+1)
+			}
+			values[i] = rec[col]
+		}
+		if _, err := rel.AppendValues(values...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// ParseHeaderSchema builds a schema from an annotated CSV header of the form
+// "name:role[:kind]" per column, where role is one of qi, sensitive, id and
+// kind is one of categorical (default), numeric. Example:
+//
+//	GEN:qi,ETH:qi,AGE:qi:numeric,DIAG:sensitive
+func ParseHeaderSchema(header []string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(header))
+	for col, h := range header {
+		parts := strings.Split(strings.TrimSpace(h), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("relation: column %d: want name:role[:kind], got %q", col+1, h)
+		}
+		a := Attribute{Name: parts[0]}
+		switch strings.ToLower(parts[1]) {
+		case "qi", "quasi", "quasi-identifier":
+			a.Role = QI
+		case "sensitive", "s":
+			a.Role = Sensitive
+		case "id", "identifier":
+			a.Role = Identifier
+		default:
+			return nil, fmt.Errorf("relation: column %d: unknown role %q", col+1, parts[1])
+		}
+		if len(parts) == 3 {
+			switch strings.ToLower(parts[2]) {
+			case "categorical", "cat":
+				a.Kind = Categorical
+			case "numeric", "num":
+				a.Kind = Numeric
+			default:
+				return nil, fmt.Errorf("relation: column %d: unknown kind %q", col+1, parts[2])
+			}
+		}
+		attrs = append(attrs, a)
+	}
+	return NewSchema(attrs...)
+}
+
+// ReadAnnotatedCSV loads a relation from CSV data whose header carries
+// role/kind annotations as understood by ParseHeaderSchema.
+func ReadAnnotatedCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := ParseHeaderSchema(header)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if _, err := rel.AppendValues(rec...); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a plain header of attribute
+// names. Identifier attributes are written as-is; callers anonymizing data
+// should have dropped or suppressed them already.
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	schema := rel.Schema()
+	header := make([]string, schema.Len())
+	for i := range header {
+		header[i] = schema.Attr(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if err := cw.Write(rel.Values(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAnnotatedCSV writes the relation as CSV with an annotated header that
+// ReadAnnotatedCSV can round-trip.
+func WriteAnnotatedCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	schema := rel.Schema()
+	header := make([]string, schema.Len())
+	for i := range header {
+		a := schema.Attr(i)
+		role := "qi"
+		switch a.Role {
+		case Sensitive:
+			role = "sensitive"
+		case Identifier:
+			role = "id"
+		}
+		kind := "categorical"
+		if a.Kind == Numeric {
+			kind = "numeric"
+		}
+		header[i] = fmt.Sprintf("%s:%s:%s", a.Name, role, kind)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if err := cw.Write(rel.Values(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

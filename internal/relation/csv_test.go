@@ -1,0 +1,129 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const annotatedCSV = `GEN:qi,AGE:qi:numeric,CTY:qi,DIAG:sensitive,SSN:id
+M,30,Calgary,Flu,111
+F,40,Toronto,Cold,222
+`
+
+func TestReadAnnotatedCSV(t *testing.T) {
+	rel, err := ReadAnnotatedCSV(strings.NewReader(annotatedCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	s := rel.Schema()
+	if s.Attr(0).Role != QI || s.Attr(1).Kind != Numeric || s.Attr(3).Role != Sensitive || s.Attr(4).Role != Identifier {
+		t.Fatalf("schema mis-parsed: %s", s)
+	}
+	if rel.Value(1, 2) != "Toronto" {
+		t.Fatalf("Value(1,2) = %q", rel.Value(1, 2))
+	}
+}
+
+func TestAnnotatedCSVRoundTrip(t *testing.T) {
+	rel, err := ReadAnnotatedCSV(strings.NewReader(annotatedCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAnnotatedCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAnnotatedCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Schema().Equal(rel.Schema()) {
+		t.Fatalf("schema changed: %s vs %s", back.Schema(), rel.Schema())
+	}
+	for i := 0; i < rel.Len(); i++ {
+		for a := 0; a < rel.Schema().Len(); a++ {
+			if back.Value(i, a) != rel.Value(i, a) {
+				t.Fatalf("cell (%d,%d) changed: %q vs %q", i, a, back.Value(i, a), rel.Value(i, a))
+			}
+		}
+	}
+}
+
+func TestReadCSVBySchema(t *testing.T) {
+	schema := MustSchema(
+		Attribute{Name: "B", Role: QI},
+		Attribute{Name: "A", Role: Sensitive},
+	)
+	// Columns in a different order than the schema, plus an extra column.
+	data := "A,EXTRA,B\n1,x,2\n3,y,4\n"
+	rel, err := ReadCSV(strings.NewReader(data), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Value(0, 0) != "2" || rel.Value(0, 1) != "1" {
+		t.Fatalf("column matching wrong: %v", rel.Values(0))
+	}
+}
+
+func TestReadCSVMissingColumn(t *testing.T) {
+	schema := MustSchema(Attribute{Name: "X", Role: QI})
+	if _, err := ReadCSV(strings.NewReader("Y\n1\n"), schema); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestParseHeaderSchemaErrors(t *testing.T) {
+	cases := [][]string{
+		{"NAME"},                  // no role
+		{"NAME:wizard"},           // bad role
+		{"NAME:qi:quantum"},       // bad kind
+		{"NAME:qi:numeric:extra"}, // too many parts
+	}
+	for _, header := range cases {
+		if _, err := ParseHeaderSchema(header); err == nil {
+			t.Errorf("header %v accepted", header)
+		}
+	}
+}
+
+func TestParseHeaderSchemaRoles(t *testing.T) {
+	s, err := ParseHeaderSchema([]string{"a:QI", "b:Sensitive:cat", "c:identifier", "d:quasi:num"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		role Role
+		kind Kind
+	}{{QI, Categorical}, {Sensitive, Categorical}, {Identifier, Categorical}, {QI, Numeric}}
+	for i, w := range want {
+		if s.Attr(i).Role != w.role || s.Attr(i).Kind != w.kind {
+			t.Errorf("attr %d = %+v, want %+v", i, s.Attr(i), w)
+		}
+	}
+}
+
+func TestWriteCSVRendersStars(t *testing.T) {
+	rel, err := ReadAnnotatedCSV(strings.NewReader(annotatedCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Suppress(0, 0)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), Star+",30") {
+		t.Fatalf("suppressed cell not rendered:\n%s", buf.String())
+	}
+}
+
+func TestReadAnnotatedCSVBadRow(t *testing.T) {
+	data := "A:qi,B:qi\n1,2\n3\n"
+	if _, err := ReadAnnotatedCSV(strings.NewReader(data)); err == nil {
+		t.Fatal("short row accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package relation
+
+// Star is the textual rendering of the suppression marker ★.
+const Star = "*"
+
+// StarCode is the dictionary code reserved for the suppression marker in
+// every attribute dictionary.
+const StarCode uint32 = 0
+
+// Dictionary maps the string values of one attribute to dense uint32 codes
+// and back. Code 0 is always the suppression marker Star. Dictionaries are
+// append-only; codes are stable for the lifetime of the dictionary.
+type Dictionary struct {
+	values []string          // code -> value; values[0] == Star
+	codes  map[string]uint32 // value -> code
+}
+
+// NewDictionary returns an empty dictionary containing only the suppression
+// marker at code 0.
+func NewDictionary() *Dictionary {
+	d := &Dictionary{
+		values: []string{Star},
+		codes:  map[string]uint32{Star: StarCode},
+	}
+	return d
+}
+
+// Code returns the code for value, interning it if it was not seen before.
+func (d *Dictionary) Code(value string) uint32 {
+	if c, ok := d.codes[value]; ok {
+		return c
+	}
+	c := uint32(len(d.values))
+	d.values = append(d.values, value)
+	d.codes[value] = c
+	return c
+}
+
+// Lookup returns the code for value without interning, and whether the value
+// is present.
+func (d *Dictionary) Lookup(value string) (uint32, bool) {
+	c, ok := d.codes[value]
+	return c, ok
+}
+
+// Value returns the string for a code. It panics if the code was never
+// issued by this dictionary.
+func (d *Dictionary) Value(code uint32) string {
+	return d.values[code]
+}
+
+// Len returns the number of distinct codes, including the suppression
+// marker.
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// Cardinality returns the number of distinct real values (excluding the
+// suppression marker).
+func (d *Dictionary) Cardinality() int { return len(d.values) - 1 }
+
+// Values returns all real values (excluding the suppression marker) in code
+// order.
+func (d *Dictionary) Values() []string {
+	out := make([]string, len(d.values)-1)
+	copy(out, d.values[1:])
+	return out
+}
+
+// Clone returns an independent copy of the dictionary.
+func (d *Dictionary) Clone() *Dictionary {
+	nd := &Dictionary{
+		values: make([]string, len(d.values)),
+		codes:  make(map[string]uint32, len(d.codes)),
+	}
+	copy(nd.values, d.values)
+	for v, c := range d.codes {
+		nd.codes[v] = c
+	}
+	return nd
+}

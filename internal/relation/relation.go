@@ -1,0 +1,338 @@
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Relation is a dictionary-encoded tuple store over a fixed schema.
+//
+// Rows are stored as []uint32 code vectors, one code per attribute, drawn
+// from per-attribute dictionaries. The suppression marker ★ is code 0 in
+// every dictionary. A Relation is not safe for concurrent mutation; all of
+// the anonymization algorithms in this repository treat their input relation
+// as read-only and produce fresh output relations.
+type Relation struct {
+	schema *Schema
+	dicts  []*Dictionary
+	rows   [][]uint32
+
+	// numCache[attr][code] holds the parsed numeric value for numeric
+	// attributes; NaN-free because codes are only cached after a successful
+	// parse. Lazily grown.
+	numCache [][]float64
+	numOK    [][]bool
+}
+
+// New returns an empty relation with the given schema and fresh
+// dictionaries.
+func New(schema *Schema) *Relation {
+	r := &Relation{
+		schema:   schema,
+		dicts:    make([]*Dictionary, schema.Len()),
+		numCache: make([][]float64, schema.Len()),
+		numOK:    make([][]bool, schema.Len()),
+	}
+	for i := range r.dicts {
+		r.dicts[i] = NewDictionary()
+	}
+	return r
+}
+
+// Derive returns a new empty relation sharing this relation's schema and
+// dictionaries. Rows appended to the derived relation intern values into the
+// shared dictionaries, so codes remain comparable across the two relations.
+func (r *Relation) Derive() *Relation {
+	return &Relation{
+		schema:   r.schema,
+		dicts:    r.dicts,
+		numCache: r.numCache,
+		numOK:    r.numOK,
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Dict returns the dictionary for attribute position attr.
+func (r *Relation) Dict(attr int) *Dictionary { return r.dicts[attr] }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// AppendValues appends one tuple given as strings in schema order and
+// returns its row index.
+func (r *Relation) AppendValues(values ...string) (int, error) {
+	if len(values) != r.schema.Len() {
+		return 0, fmt.Errorf("relation: tuple has %d values, schema has %d attributes", len(values), r.schema.Len())
+	}
+	row := make([]uint32, len(values))
+	for i, v := range values {
+		row[i] = r.dicts[i].Code(v)
+	}
+	r.rows = append(r.rows, row)
+	return len(r.rows) - 1, nil
+}
+
+// MustAppendValues is AppendValues that panics on arity mismatch.
+func (r *Relation) MustAppendValues(values ...string) int {
+	i, err := r.AppendValues(values...)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// AppendCodes appends one tuple given as dictionary codes in schema order.
+// The codes must have been issued by this relation's dictionaries. The row
+// slice is copied.
+func (r *Relation) AppendCodes(codes []uint32) int {
+	if len(codes) != r.schema.Len() {
+		panic(fmt.Sprintf("relation: tuple has %d codes, schema has %d attributes", len(codes), r.schema.Len()))
+	}
+	row := make([]uint32, len(codes))
+	copy(row, codes)
+	r.rows = append(r.rows, row)
+	return len(r.rows) - 1
+}
+
+// Row returns the code vector of tuple i. The returned slice aliases the
+// relation's storage; callers must not modify it unless they own the
+// relation.
+func (r *Relation) Row(i int) []uint32 { return r.rows[i] }
+
+// Code returns the code of attribute attr in tuple i.
+func (r *Relation) Code(i, attr int) uint32 { return r.rows[i][attr] }
+
+// Value returns the string value of attribute attr in tuple i, with ★ for
+// suppressed cells.
+func (r *Relation) Value(i, attr int) string {
+	return r.dicts[attr].Value(r.rows[i][attr])
+}
+
+// Values returns tuple i rendered as strings in schema order.
+func (r *Relation) Values(i int) []string {
+	row := r.rows[i]
+	out := make([]string, len(row))
+	for a, c := range row {
+		out[a] = r.dicts[a].Value(c)
+	}
+	return out
+}
+
+// SetCode overwrites the code of attribute attr in tuple i.
+func (r *Relation) SetCode(i, attr int, code uint32) { r.rows[i][attr] = code }
+
+// Suppress replaces the cell (i, attr) with the suppression marker.
+func (r *Relation) Suppress(i, attr int) { r.rows[i][attr] = StarCode }
+
+// IsSuppressed reports whether cell (i, attr) holds the suppression marker.
+func (r *Relation) IsSuppressed(i, attr int) bool { return r.rows[i][attr] == StarCode }
+
+// Clone returns a deep copy of the relation: dictionaries are shared (they
+// are append-only), rows are copied.
+func (r *Relation) Clone() *Relation {
+	nr := r.Derive()
+	nr.rows = make([][]uint32, len(r.rows))
+	for i, row := range r.rows {
+		nrow := make([]uint32, len(row))
+		copy(nrow, row)
+		nr.rows[i] = nrow
+	}
+	return nr
+}
+
+// AppendRowsFrom appends copies of the given rows (by index) of src, which
+// must share dictionaries with r (i.e. one must derive from the other).
+func (r *Relation) AppendRowsFrom(src *Relation, rows []int) {
+	for _, i := range rows {
+		r.AppendCodes(src.rows[i])
+	}
+}
+
+// NumericValue returns the numeric interpretation of code for a numeric
+// attribute, and whether the value parses as a number. Results are cached
+// per (attribute, code).
+func (r *Relation) NumericValue(attr int, code uint32) (float64, bool) {
+	d := r.dicts[attr]
+	if int(code) >= len(r.numCache[attr]) {
+		// Grow caches to dictionary size.
+		grown := make([]float64, d.Len())
+		copy(grown, r.numCache[attr])
+		r.numCache[attr] = grown
+		grownOK := make([]bool, d.Len())
+		copy(grownOK, r.numOK[attr])
+		r.numOK[attr] = grownOK
+		// Parse all newly covered codes.
+		for c := 0; c < d.Len(); c++ {
+			if r.numOK[attr][c] {
+				continue
+			}
+			if v, err := strconv.ParseFloat(d.Value(uint32(c)), 64); err == nil {
+				r.numCache[attr][c] = v
+				r.numOK[attr][c] = true
+			}
+		}
+	}
+	if int(code) >= len(r.numOK[attr]) || !r.numOK[attr][code] {
+		return 0, false
+	}
+	return r.numCache[attr][code], true
+}
+
+// NumericRange returns the min and max numeric values present in attribute
+// attr over the given rows (all rows if rows is nil), ignoring suppressed
+// and non-numeric cells. ok is false when no numeric value is present.
+func (r *Relation) NumericRange(attr int, rows []int) (lo, hi float64, ok bool) {
+	scan := func(i int) {
+		c := r.rows[i][attr]
+		if c == StarCode {
+			return
+		}
+		v, parsed := r.NumericValue(attr, c)
+		if !parsed {
+			return
+		}
+		if !ok {
+			lo, hi, ok = v, v, true
+			return
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if rows == nil {
+		for i := range r.rows {
+			scan(i)
+		}
+	} else {
+		for _, i := range rows {
+			scan(i)
+		}
+	}
+	return lo, hi, ok
+}
+
+// Count returns the number of tuples whose attribute attr holds code.
+func (r *Relation) Count(attr int, code uint32) int {
+	n := 0
+	for _, row := range r.rows {
+		if row[attr] == code {
+			n++
+		}
+	}
+	return n
+}
+
+// CountMatch returns the number of tuples matching all (attr, code) pairs.
+func (r *Relation) CountMatch(attrs []int, codes []uint32) int {
+	n := 0
+	for _, row := range r.rows {
+		if rowMatches(row, attrs, codes) {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchingRows returns the indexes of all tuples matching all (attr, code)
+// pairs, in row order.
+func (r *Relation) MatchingRows(attrs []int, codes []uint32) []int {
+	var out []int
+	for i, row := range r.rows {
+		if rowMatches(row, attrs, codes) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func rowMatches(row []uint32, attrs []int, codes []uint32) bool {
+	for k, a := range attrs {
+		if row[a] != codes[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// groupKey packs the codes of the given attributes of row into a string key
+// suitable for map grouping.
+func groupKey(row []uint32, attrs []int) string {
+	buf := make([]byte, 0, len(attrs)*4)
+	for _, a := range attrs {
+		c := row[a]
+		buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(buf)
+}
+
+// GroupBy partitions the given rows (all rows if rows is nil) by their
+// values on attrs, returning the groups as slices of row indexes. Group
+// order is deterministic: groups are ordered by the first row index they
+// contain.
+func (r *Relation) GroupBy(attrs []int, rows []int) [][]int {
+	byKey := make(map[string]int)
+	var groups [][]int
+	add := func(i int) {
+		key := groupKey(r.rows[i], attrs)
+		g, ok := byKey[key]
+		if !ok {
+			g = len(groups)
+			byKey[key] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	if rows == nil {
+		for i := range r.rows {
+			add(i)
+		}
+	} else {
+		for _, i := range rows {
+			add(i)
+		}
+	}
+	return groups
+}
+
+// QIGroups partitions all tuples by their QI attribute values. Every
+// returned group is a QI-group in the sense of Definition 2.1.
+func (r *Relation) QIGroups() [][]int {
+	return r.GroupBy(r.schema.QIIndexes(), nil)
+}
+
+// DistinctCount returns |Π_attrs(R)|: the number of distinct value
+// combinations over the given attributes.
+func (r *Relation) DistinctCount(attrs []int) int {
+	seen := make(map[string]struct{})
+	for _, row := range r.rows {
+		seen[groupKey(row, attrs)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ValueFrequencies returns, for attribute attr, a map from code to the
+// number of tuples holding that code (the suppression marker included if
+// present).
+func (r *Relation) ValueFrequencies(attr int) map[uint32]int {
+	freq := make(map[uint32]int)
+	for _, row := range r.rows {
+		freq[row[attr]]++
+	}
+	return freq
+}
+
+// SameOn reports whether tuples i and j agree on every attribute in attrs.
+func (r *Relation) SameOn(i, j int, attrs []int) bool {
+	ri, rj := r.rows[i], r.rows[j]
+	for _, a := range attrs {
+		if ri[a] != rj[a] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaValid(t *testing.T) {
+	s, err := NewSchema(
+		Attribute{Name: "A", Role: QI},
+		Attribute{Name: "B", Role: Sensitive, Kind: Numeric},
+		Attribute{Name: "C", Role: Identifier},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Attr(1); got.Name != "B" || got.Role != Sensitive || got.Kind != Numeric {
+		t.Fatalf("Attr(1) = %+v", got)
+	}
+	if i, ok := s.Index("C"); !ok || i != 2 {
+		t.Fatalf("Index(C) = %d, %t", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Fatal("Index(missing) reported present")
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	if _, err := NewSchema(Attribute{Name: "A"}, Attribute{Name: "A"}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema(Attribute{Name: ""}); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic on invalid schema")
+		}
+	}()
+	MustSchema(Attribute{Name: "A"}, Attribute{Name: "A"})
+}
+
+func TestSchemaRoleIndexes(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "id", Role: Identifier},
+		Attribute{Name: "q1", Role: QI},
+		Attribute{Name: "s1", Role: Sensitive},
+		Attribute{Name: "q2", Role: QI},
+	)
+	if got := s.QIIndexes(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("QIIndexes = %v", got)
+	}
+	if got := s.SensitiveIndexes(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("SensitiveIndexes = %v", got)
+	}
+}
+
+func TestSchemaEqualAndString(t *testing.T) {
+	a := MustSchema(Attribute{Name: "A", Role: QI}, Attribute{Name: "B", Role: Sensitive})
+	b := MustSchema(Attribute{Name: "A", Role: QI}, Attribute{Name: "B", Role: Sensitive})
+	c := MustSchema(Attribute{Name: "A", Role: QI}, Attribute{Name: "B", Role: QI})
+	if !a.Equal(b) {
+		t.Fatal("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different schemas Equal")
+	}
+	if !strings.Contains(a.String(), "A:QI") || !strings.Contains(a.String(), "B:sensitive") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestRoleAndKindStrings(t *testing.T) {
+	cases := map[string]string{
+		QI.String():          "QI",
+		Sensitive.String():   "sensitive",
+		Identifier.String():  "identifier",
+		Categorical.String(): "categorical",
+		Numeric.String():     "numeric",
+		Role(9).String():     "Role(9)",
+		Kind(9).String():     "Kind(9)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSchemaAttrsIsCopy(t *testing.T) {
+	s := MustSchema(Attribute{Name: "A", Role: QI})
+	attrs := s.Attrs()
+	attrs[0].Name = "mutated"
+	if s.Attr(0).Name != "A" {
+		t.Fatal("Attrs() exposed internal storage")
+	}
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"diva/internal/constraint"
+	"diva/internal/relation"
+)
+
+func sampleRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "B", Role: relation.QI},
+		relation.Attribute{Name: "S", Role: relation.Sensitive},
+	)
+	rel := relation.New(schema)
+	rows := [][]string{
+		{"x", "y", "s1"},
+		{"x", "y", "s2"},
+		{"u", relation.Star, "s1"},
+		{"u", relation.Star, "s1"},
+		{"u", relation.Star, "s3"},
+	}
+	for _, r := range rows {
+		rel.MustAppendValues(r...)
+	}
+	return rel
+}
+
+func TestBuild(t *testing.T) {
+	rel := sampleRelation(t)
+	sigma := constraint.Set{
+		constraint.New("A", "x", 1, 3),
+		constraint.New("A", "u", 4, 9), // 3 occurrences: violated
+	}
+	r, err := Build(rel, sigma, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples != 5 || r.K != 2 || !r.KAnonymous {
+		t.Fatalf("overview wrong: %+v", r)
+	}
+	if r.SuppressedQI != 3 {
+		t.Fatalf("SuppressedQI = %d", r.SuppressedQI)
+	}
+	if len(r.Constraints) != 2 || !r.Constraints[0].Satisfied || r.Constraints[1].Satisfied {
+		t.Fatalf("constraints: %+v", r.Constraints)
+	}
+	if r.Risk.MaxRisk != 0.5 { // smallest group has 2 tuples
+		t.Fatalf("MaxRisk = %v", r.Risk.MaxRisk)
+	}
+	if len(r.ByAttribute) != 2 || r.ByAttribute[1].Suppressed != 3 {
+		t.Fatalf("ByAttribute: %+v", r.ByAttribute)
+	}
+	if len(r.GroupSizes) != 2 {
+		t.Fatalf("GroupSizes: %+v", r.GroupSizes)
+	}
+}
+
+func TestBuildBadConstraint(t *testing.T) {
+	rel := sampleRelation(t)
+	if _, err := Build(rel, constraint.Set{constraint.New("NOPE", "x", 1, 2)}, 2); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestWriteFormats(t *testing.T) {
+	rel := sampleRelation(t)
+	sigma := constraint.Set{constraint.New("A", "x", 1, 3)}
+	r, err := Build(rel, sigma, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	if err := r.Write(&text, "text"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"k-anonymous: true", "A[x]", "QI-group sizes"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var md bytes.Buffer
+	if err := r.Write(&md, "markdown"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| k-anonymous | true |") {
+		t.Errorf("markdown report malformed:\n%s", md.String())
+	}
+
+	var js bytes.Buffer
+	if err := r.Write(&js, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("json report does not parse: %v", err)
+	}
+	if back.Tuples != r.Tuples || back.Accuracy != r.Accuracy {
+		t.Fatal("json round trip lost fields")
+	}
+
+	if err := r.Write(&js, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestEmptyRelationReport(t *testing.T) {
+	schema := relation.MustSchema(relation.Attribute{Name: "A", Role: relation.QI})
+	r, err := Build(relation.New(schema), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples != 0 || !r.KAnonymous || r.Risk.MaxRisk != 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package search
+
+import (
+	"testing"
+
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+	"diva/internal/relation"
+)
+
+// puzzleRelation forces backtracking: the cheapest cluster for the A[x]
+// constraint ({r2, r3}, identical tuples) starves the B[z] constraint,
+// which needs all four z-rows; the search must retract and settle A[x] on
+// the more expensive {r0, r1}.
+func puzzleRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "A", Role: relation.QI},
+		relation.Attribute{Name: "B", Role: relation.QI},
+		relation.Attribute{Name: "C", Role: relation.QI},
+	)
+	rel := relation.New(schema)
+	for _, row := range [][]string{
+		{"x", "w1", "c1"}, // r0
+		{"x", "w2", "c2"}, // r1
+		{"x", "z", "c3"},  // r2
+		{"x", "z", "c3"},  // r3: {r2, r3} is a zero-cost cluster
+		{"y", "z", "c4"},  // r4
+		{"y", "z", "c5"},  // r5
+	} {
+		rel.MustAppendValues(row...)
+	}
+	return rel
+}
+
+func TestColorBacktracksOutOfGreedyTrap(t *testing.T) {
+	rel := puzzleRelation(t)
+	sigma := constraint.Set{
+		constraint.New("A", "x", 2, 2), // exactly two preserved x's
+		constraint.New("B", "z", 4, 4), // all four z's preserved
+	}
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(rel, bounds, cluster.Options{K: 2})
+
+	// MaxFanOut breaks the fan-out tie by index and visits the A[x] node
+	// first, so it must walk into the trap and back out.
+	sigmaC, stats, found := g.Color(Options{Strategy: MaxFanOut})
+	if !found {
+		t.Fatalf("no coloring found (stats %+v)", stats)
+	}
+	if stats.Backtracks == 0 {
+		t.Fatalf("expected backtracking, got none (stats %+v, SΣ %v)", stats, sigmaC)
+	}
+	// The B[z] constraint owns rows {2,3,4,5}; A[x] must therefore sit on
+	// {0,1}.
+	var axCluster []int
+	for _, c := range sigmaC {
+		if len(c) == 2 && c[0] <= 1 {
+			axCluster = c
+		}
+	}
+	if len(axCluster) != 2 || axCluster[0] != 0 || axCluster[1] != 1 {
+		t.Fatalf("A[x] cluster = %v, want {0, 1} (SΣ %v)", axCluster, sigmaC)
+	}
+	// All six rows are used: four for B[z], two for A[x].
+	if sigmaC.Tuples() != 6 {
+		t.Fatalf("SΣ covers %d tuples, want 6", sigmaC.Tuples())
+	}
+}
+
+// TestColorBacktrackUnwindPreservesState: after a failed subtree the
+// preserved-occurrence accounting must return to exactly its prior state;
+// detectable by running the same search twice and by the final invariant
+// check.
+func TestColorBacktrackUnwindPreservesState(t *testing.T) {
+	rel := puzzleRelation(t)
+	sigma := constraint.Set{
+		constraint.New("A", "x", 2, 2),
+		constraint.New("B", "z", 4, 4),
+	}
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(rel, bounds, cluster.Options{K: 2})
+	var first cluster.Clustering
+	for i := 0; i < 3; i++ {
+		sigmaC, _, found := g.Color(Options{Strategy: MaxFanOut})
+		if !found {
+			t.Fatal("no coloring")
+		}
+		for _, b := range bounds {
+			preserved := 0
+			for _, c := range sigmaC {
+				preserved += preservedIn(rel, b, c)
+			}
+			if preserved < b.Lower || preserved > b.Upper {
+				t.Fatalf("run %d: %s preserved %d outside [%d, %d]", i, b, preserved, b.Lower, b.Upper)
+			}
+		}
+		if i == 0 {
+			first = sigmaC
+			continue
+		}
+		// Deterministic strategy, fresh state per Color call: identical
+		// results on every run.
+		if len(sigmaC) != len(first) {
+			t.Fatalf("run %d: nondeterministic result", i)
+		}
+	}
+}

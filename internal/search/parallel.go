@@ -1,0 +1,66 @@
+package search
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"diva/internal/cluster"
+)
+
+// ColorPortfolio runs several coloring searches concurrently — a portfolio
+// of the three node-selection strategies plus randomized Basic instances —
+// and returns the first coloring found, cancelling the rest. It realizes
+// the paper's future-work direction of parallelizing the coloring to
+// improve scalability: on instances where one strategy backtracks heavily,
+// another often completes quickly, and the portfolio's wall time is the
+// minimum over its members.
+//
+// workers ≤ 0 selects three workers (one per strategy). The search is
+// deterministic for a fixed seed in the sense of which colorings are
+// reachable, but which worker wins a close race may vary; every returned
+// coloring satisfies the same invariants as Color's. The reported Stats
+// are the winning worker's.
+func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.Clustering, Stats, bool) {
+	if workers <= 0 {
+		workers = 3
+	}
+	type outcome struct {
+		sigma cluster.Clustering
+		stats Stats
+		found bool
+	}
+	var (
+		stop    atomic.Bool
+		mu      sync.Mutex
+		best    *outcome
+		wg      sync.WaitGroup
+		fullRot = []Strategy{MinChoice, MaxFanOut, Basic}
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wopts := opts
+			wopts.Strategy = fullRot[w%len(fullRot)]
+			wopts.Rng = rand.New(rand.NewPCG(seed+uint64(w), seed^0x6c62272e07bb0142))
+			wopts.cancel = &stop
+			sigma, stats, found := g.Color(wopts)
+			if !found {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if best == nil {
+				best = &outcome{sigma: sigma, stats: stats, found: true}
+				stop.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if best == nil {
+		return nil, Stats{}, false
+	}
+	return best.sigma, best.stats, true
+}

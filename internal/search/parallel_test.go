@@ -1,0 +1,65 @@
+package search
+
+import (
+	"testing"
+
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+)
+
+func TestColorPortfolioFindsPaperColoring(t *testing.T) {
+	rel := paperRelation(t)
+	g := BuildGraph(rel, paperBounds(t, rel), cluster.Options{K: 2})
+	for _, workers := range []int{0, 1, 3, 6} {
+		sigma, stats, found := g.ColorPortfolio(Options{}, workers, 42)
+		if !found {
+			t.Fatalf("workers=%d: no coloring (stats %+v)", workers, stats)
+		}
+		// Same invariants as the sequential search: disjoint clusters, the
+		// forced African cluster present.
+		seen := map[int]bool{}
+		forced := false
+		for _, c := range sigma {
+			if len(c) == 2 && c[0] == 4 && c[1] == 5 {
+				forced = true
+			}
+			for _, r := range c {
+				if seen[r] {
+					t.Fatalf("workers=%d: row %d in two clusters", workers, r)
+				}
+				seen[r] = true
+			}
+		}
+		if !forced {
+			t.Fatalf("workers=%d: missing forced cluster in %v", workers, sigma)
+		}
+	}
+}
+
+func TestColorPortfolioUnsatisfiable(t *testing.T) {
+	rel := paperRelation(t)
+	sigma := constraint.Set{constraint.New("ETH", "African", 4, 6)}
+	bounds, _ := sigma.Bind(rel)
+	g := BuildGraph(rel, bounds, cluster.Options{K: 2})
+	if _, _, found := g.ColorPortfolio(Options{}, 4, 1); found {
+		t.Fatal("portfolio colored an unsatisfiable instance")
+	}
+}
+
+func TestColorPortfolioRespectsAccept(t *testing.T) {
+	rel := paperRelation(t)
+	g := BuildGraph(rel, paperBounds(t, rel), cluster.Options{K: 2})
+	sigma, _, found := g.ColorPortfolio(Options{
+		Accept: func(used int) bool {
+			rest := rel.Len() - used
+			return rest == 0 || rest >= 4
+		},
+	}, 3, 7)
+	if !found {
+		t.Fatal("no acceptable coloring found")
+	}
+	rest := rel.Len() - sigma.Tuples()
+	if rest != 0 && rest < 4 {
+		t.Fatalf("accepted coloring leaves %d rows", rest)
+	}
+}

@@ -1,0 +1,470 @@
+// Package search implements DiverseClustering (Algorithms 3–4 of the
+// paper): the constraint graph, the backtracking coloring search, and the
+// three node-selection strategies Basic, MinChoice and MaxFanOut.
+//
+// Each diversity constraint is a node; an edge joins two constraints whose
+// target tuple sets overlap. A color for a node is one of the candidate
+// clusterings enumerated by package cluster. An assignment of colors is
+// consistent when (1) clusters of different nodes are pairwise disjoint
+// unless identical, and (2) no constraint's upper bound is exceeded by the
+// occurrences the assigned clusterings preserve. Following Section 3.3's
+// "we update the candidate clusterings for their neighbors", candidates are
+// recomputed against the rows still unclaimed whenever a node is visited,
+// so condition (1) holds by construction for fresh clusters.
+package search
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync/atomic"
+
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+	"diva/internal/relation"
+)
+
+// Strategy selects the next uncolored node during the search.
+type Strategy uint8
+
+const (
+	// Basic picks a random uncolored node (DIVA-Basic in the paper).
+	Basic Strategy = iota
+	// MinChoice picks the uncolored node with the fewest candidate
+	// clusterings still available against the current partial assignment
+	// (most restrictive first).
+	MinChoice
+	// MaxFanOut picks the uncolored node with the most uncolored neighbors
+	// (most interactions first), pruning unsatisfiable clusterings early.
+	MaxFanOut
+)
+
+// String names the strategy as in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case Basic:
+		return "Basic"
+	case MinChoice:
+		return "MinChoice"
+	case MaxFanOut:
+		return "MaxFanOut"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy resolves a strategy name.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "Basic", "basic":
+		return Basic, nil
+	case "MinChoice", "minchoice":
+		return MinChoice, nil
+	case "MaxFanOut", "maxfanout":
+		return MaxFanOut, nil
+	}
+	return Basic, fmt.Errorf("search: unknown strategy %q", name)
+}
+
+// Node is one constraint in the graph.
+type Node struct {
+	// Index is the node's position in Graph.Nodes and in the original
+	// constraint set.
+	Index int
+	// Bound is the constraint the node represents.
+	Bound *constraint.Bound
+	// Enum produces candidate clusterings for the constraint against the
+	// rows still available.
+	Enum *cluster.Enumerator
+	// Neighbors are indexes of nodes whose constraints share target tuples.
+	Neighbors []int
+}
+
+// Graph is the constraint graph of Section 3.3.
+type Graph struct {
+	Nodes []*Node
+	rel   *relation.Relation
+}
+
+// BuildGraph constructs the constraint graph for the bound constraints over
+// rel, preparing candidate enumeration per node with the given options.
+func BuildGraph(rel *relation.Relation, bounds []*constraint.Bound, opts cluster.Options) *Graph {
+	g := &Graph{rel: rel, Nodes: make([]*Node, len(bounds))}
+	targets := make([][]int, len(bounds))
+	for i, b := range bounds {
+		targets[i] = b.TargetRows(rel)
+		g.Nodes[i] = &Node{
+			Index: i,
+			Bound: b,
+			Enum:  cluster.NewEnumerator(rel, b, opts),
+		}
+	}
+	for i := range g.Nodes {
+		for j := i + 1; j < len(g.Nodes); j++ {
+			if overlapSorted(targets[i], targets[j]) {
+				g.Nodes[i].Neighbors = append(g.Nodes[i].Neighbors, j)
+				g.Nodes[j].Neighbors = append(g.Nodes[j].Neighbors, i)
+			}
+		}
+	}
+	return g
+}
+
+func overlapSorted(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports search effort.
+type Stats struct {
+	// Steps counts color-assignment attempts.
+	Steps int
+	// Backtracks counts retracted assignments.
+	Backtracks int
+	// CandidatesTried counts consistency checks of candidate clusterings.
+	CandidatesTried int
+}
+
+// Options configures the coloring search.
+type Options struct {
+	Strategy Strategy
+	// Rng drives the Basic strategy's random node choice. Required for
+	// Basic; ignored by the deterministic strategies.
+	Rng *rand.Rand
+	// MaxSteps aborts the search after this many assignment attempts; zero
+	// means the default of 1,000,000. An aborted search reports no coloring
+	// found.
+	MaxSteps int
+	// Accept, when non-nil, is consulted once all nodes are colored with
+	// the total number of rows used by the assignment; returning false
+	// rejects the complete coloring and resumes the search. The DIVA driver
+	// uses it to avoid leaving a remainder of fewer than k tuples for the
+	// off-the-shelf anonymizer.
+	Accept func(usedRows int) bool
+	// cancel, when non-nil and set, aborts the search; used by
+	// ColorPortfolio to stop losing workers.
+	cancel *atomic.Bool
+}
+
+// Color runs the backtracking coloring (Algorithm 4). It returns the merged
+// diverse clustering SΣ and search statistics. found is false when no
+// consistent coloring exists within the step budget.
+func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, found bool) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	st := &state{
+		g:        g,
+		assigned: make([]cluster.Clustering, len(g.Nodes)),
+		colored:  make([]bool, len(g.Nodes)),
+		rowOwner: make(map[int]string),
+		active:   make(map[string]*activeCluster),
+		preserve: make([]int, len(g.Nodes)),
+		opts:     opts,
+	}
+	ok := st.color()
+	stats = st.stats
+	if !ok {
+		return nil, stats, false
+	}
+	// Merge distinct clusters into SΣ.
+	seen := make(map[string]bool)
+	for _, s := range st.assigned {
+		for _, c := range s {
+			key := cluster.ClusterKey(c)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sigma = append(sigma, c)
+		}
+	}
+	return sigma, stats, true
+}
+
+// activeCluster tracks one distinct cluster currently used by the partial
+// assignment, with a reference count (several nodes may share an identical
+// cluster).
+type activeCluster struct {
+	rows []int
+	refs int
+}
+
+type state struct {
+	g        *Graph
+	assigned []cluster.Clustering
+	colored  []bool
+	nColored int
+	// rowOwner maps a row index to the key of the active cluster that
+	// contains it.
+	rowOwner map[int]string
+	active   map[string]*activeCluster
+	// preserve[j] is the number of occurrences of constraint j's target
+	// preserved by the distinct active clusters.
+	preserve []int
+	opts     Options
+	stats    Stats
+	aborted  bool
+}
+
+func (st *state) isUsed(row int) bool {
+	_, used := st.rowOwner[row]
+	return used
+}
+
+// candidatesFor regenerates node v's candidates against the rows still
+// available and filters them through the upper-bound consistency check.
+// Clusters already assigned to other nodes may be shared when they lie
+// inside v's target set ("for every pair of clusters … either disjoint or
+// equal", Section 3.2); shared candidates come first since they cost no
+// additional suppression.
+func (st *state) candidatesFor(v int) []cluster.Clustering {
+	node := st.g.Nodes[v]
+	out := st.sharedCandidates(node)
+	for _, cand := range node.Enum.Candidates(st.isUsed) {
+		st.stats.CandidatesTried++
+		if st.isConsistent(cand) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// sharedCandidates proposes clusterings built from clusters other nodes
+// already activated: every active cluster (or combination of active
+// clusters) whose preserved occurrences of the node's target land within
+// the node's frequency range is a zero-cost color for the node.
+func (st *state) sharedCandidates(node *Node) []cluster.Clustering {
+	b := node.Bound
+	type shared struct {
+		rows      []int
+		preserved int
+	}
+	var usable []shared
+	for _, ac := range st.active {
+		if p := preservedIn(st.g.rel, b, ac.rows); p > 0 {
+			usable = append(usable, shared{rows: ac.rows, preserved: p})
+		}
+	}
+	// Map iteration order is random; keep the search deterministic.
+	sort.Slice(usable, func(i, j int) bool { return usable[i].rows[0] < usable[j].rows[0] })
+	var out []cluster.Clustering
+	// Single shared clusters.
+	for _, s := range usable {
+		st.stats.CandidatesTried++
+		if s.preserved >= b.Lower && s.preserved <= b.Upper {
+			out = append(out, cluster.Clustering{s.rows})
+		}
+	}
+	// Greedy combination of all usable shared clusters.
+	if len(usable) > 1 {
+		var combo cluster.Clustering
+		total := 0
+		for _, s := range usable {
+			if total+s.preserved > b.Upper {
+				continue
+			}
+			combo = append(combo, s.rows)
+			total += s.preserved
+		}
+		st.stats.CandidatesTried++
+		if len(combo) > 1 && total >= b.Lower && total <= b.Upper {
+			out = append(out, combo)
+		}
+	}
+	return out
+}
+
+// color is the recursive Coloring routine (Algorithm 4).
+func (st *state) color() bool {
+	if st.nColored == len(st.g.Nodes) {
+		// All nodes colored; lower bounds hold by construction (each node's
+		// own clustering preserves ≥ λl occurrences) and upper bounds were
+		// enforced on every assignment.
+		return st.opts.Accept == nil || st.opts.Accept(len(st.rowOwner))
+	}
+	if st.aborted || (st.opts.cancel != nil && st.opts.cancel.Load()) {
+		st.aborted = true
+		return false
+	}
+	v := st.nextNode()
+	for _, cand := range st.candidatesFor(v) {
+		st.stats.Steps++
+		if st.stats.Steps > st.opts.MaxSteps {
+			st.aborted = true
+			return false
+		}
+		st.assign(v, cand)
+		if st.color() {
+			return true
+		}
+		st.unassign(v, cand)
+		st.stats.Backtracks++
+		if st.aborted {
+			return false
+		}
+	}
+	return false
+}
+
+// nextNode implements NextNode for the three strategies.
+func (st *state) nextNode() int {
+	switch st.opts.Strategy {
+	case MinChoice:
+		best, bestCount := -1, -1
+		for i, node := range st.g.Nodes {
+			if st.colored[i] {
+				continue
+			}
+			count := len(node.Enum.Candidates(st.isUsed))
+			if best == -1 || count < bestCount {
+				best, bestCount = i, count
+			}
+		}
+		return best
+	case MaxFanOut:
+		best, bestFan := -1, -1
+		for i, node := range st.g.Nodes {
+			if st.colored[i] {
+				continue
+			}
+			fan := 0
+			for _, n := range node.Neighbors {
+				if !st.colored[n] {
+					fan++
+				}
+			}
+			if fan > bestFan {
+				best, bestFan = i, fan
+			}
+		}
+		return best
+	default: // Basic
+		var uncolored []int
+		for i := range st.g.Nodes {
+			if !st.colored[i] {
+				uncolored = append(uncolored, i)
+			}
+		}
+		if st.opts.Rng != nil {
+			return uncolored[st.opts.Rng.IntN(len(uncolored))]
+		}
+		return uncolored[0]
+	}
+}
+
+// isConsistent checks the two search conditions of Section 3.2 for a
+// candidate clustering against the current partial assignment:
+// disjoint-unless-equal clusters, and no upper-bound violation.
+func (st *state) isConsistent(cand cluster.Clustering) bool {
+	// Condition 1: each cluster is either identical to an active cluster or
+	// disjoint from all of them. Dynamically enumerated candidates are
+	// disjoint by construction; the check protects externally supplied
+	// clusterings too.
+	newClusters := cand[:0:0]
+	for _, c := range cand {
+		key := cluster.ClusterKey(c)
+		if _, shared := st.active[key]; shared {
+			continue // identical cluster already active: sharing is allowed
+		}
+		for _, row := range c {
+			if st.isUsed(row) {
+				return false // partial overlap with a different cluster
+			}
+		}
+		newClusters = append(newClusters, c)
+	}
+	// Condition 2: adding the genuinely new clusters must not push any
+	// constraint's preserved occurrences above its upper bound.
+	for j, node := range st.g.Nodes {
+		add := 0
+		for _, c := range newClusters {
+			add += preservedIn(st.g.rel, node.Bound, c)
+		}
+		if add > 0 && st.preserve[j]+add > node.Bound.Upper {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *state) assign(v int, cand cluster.Clustering) {
+	st.assigned[v] = cand
+	st.colored[v] = true
+	st.nColored++
+	for _, c := range cand {
+		key := cluster.ClusterKey(c)
+		if ac, ok := st.active[key]; ok {
+			ac.refs++
+			continue
+		}
+		st.active[key] = &activeCluster{rows: c, refs: 1}
+		for _, row := range c {
+			st.rowOwner[row] = key
+		}
+		for j, node := range st.g.Nodes {
+			st.preserve[j] += preservedIn(st.g.rel, node.Bound, c)
+		}
+	}
+}
+
+func (st *state) unassign(v int, cand cluster.Clustering) {
+	st.assigned[v] = nil
+	st.colored[v] = false
+	st.nColored--
+	for _, c := range cand {
+		key := cluster.ClusterKey(c)
+		ac := st.active[key]
+		ac.refs--
+		if ac.refs > 0 {
+			continue
+		}
+		delete(st.active, key)
+		for _, row := range c {
+			delete(st.rowOwner, row)
+		}
+		for j, node := range st.g.Nodes {
+			st.preserve[j] -= preservedIn(st.g.rel, node.Bound, c)
+		}
+	}
+}
+
+// preservedIn returns the number of occurrences of b's target that
+// Suppress would preserve in cluster c: if the cluster is uniform on every
+// QI target attribute with exactly the target values, each row matching the
+// full target (including sensitive target attributes, which are never
+// suppressed) contributes one occurrence; otherwise the QI target cells are
+// suppressed (or hold other values) and the cluster contributes none.
+func preservedIn(rel *relation.Relation, b *constraint.Bound, c []int) int {
+	if len(c) == 0 {
+		return 0
+	}
+	schema := rel.Schema()
+	for idx, a := range b.Attrs {
+		if schema.Attr(a).Role != relation.QI {
+			continue
+		}
+		for _, row := range c {
+			if rel.Code(row, a) != b.Codes[idx] {
+				return 0
+			}
+		}
+	}
+	n := 0
+	for _, row := range c {
+		if b.Matches(rel.Row(row)) {
+			n++
+		}
+	}
+	return n
+}
