@@ -1,0 +1,28 @@
+# Build and verification entry points. `make ci` is the gate every change
+# must pass: vet, build, the full test suite, and the race detector over
+# the concurrent paths (portfolio coloring, cancellation).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench emits benchstat-compatible output including the per-phase
+# "<phase>-ns/op" columns; pipe two runs into benchstat to diff phases.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+ci: vet build test race

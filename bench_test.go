@@ -11,6 +11,7 @@
 package diva_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"testing"
@@ -48,10 +49,11 @@ func benchSigma(b *testing.B, rel *diva.Relation, n, k int) constraint.Set {
 func runDIVABench(b *testing.B, rel *diva.Relation, sigma constraint.Set, k int, strat search.Strategy) {
 	b.Helper()
 	b.ReportAllocs()
+	phaseNanos := make(map[diva.Phase]float64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewPCG(9, uint64(i)))
-		res, err := core.Anonymize(rel, sigma, core.Options{
+		res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 			K:          k,
 			Strategy:   strat,
 			Rng:        rng,
@@ -60,8 +62,22 @@ func runDIVABench(b *testing.B, rel *diva.Relation, sigma constraint.Set, k int,
 		if err != nil {
 			b.Fatal(err)
 		}
+		for _, pt := range res.Metrics.Phases {
+			phaseNanos[pt.Phase] += float64(pt.Duration)
+		}
 		if i == 0 {
 			b.ReportMetric(metrics.Accuracy(res.Output), "accuracy")
+		}
+	}
+	b.StopTimer()
+	// Per-phase breakdown in benchstat-comparable units: each phase becomes
+	// its own "<phase>-ns/op" column, so two runs diff phase by phase.
+	for _, ph := range []diva.Phase{
+		diva.PhaseBind, diva.PhaseBuildGraph, diva.PhaseColor, diva.PhaseSuppress,
+		diva.PhaseBaseline, diva.PhaseIntegrate, diva.PhaseVerify,
+	} {
+		if ns, ok := phaseNanos[ph]; ok {
+			b.ReportMetric(ns/float64(b.N), string(ph)+"-ns/op")
 		}
 	}
 }
@@ -71,7 +87,7 @@ func runBaselineBench(b *testing.B, rel *diva.Relation, p anon.Partitioner, k in
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := core.RunBaseline(rel, p, k)
+		out, err := core.RunBaseline(context.Background(), rel, p, k, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

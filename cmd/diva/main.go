@@ -5,6 +5,12 @@
 //
 //	diva -in data.csv -constraints sigma.txt -k 10 [-strategy MaxFanOut]
 //	     [-seed 1] [-baseline k-member] [-verify] [-stats]
+//	     [-timeout 30s] [-trace] [-metrics]
+//
+// -timeout bounds the run's wall time (the search stops promptly and the
+// command exits nonzero), -trace streams phase boundaries and the portfolio
+// outcome to stderr as they happen, and -metrics dumps the run's aggregated
+// metrics — per-phase wall times, search counters — as JSON on stderr.
 //
 // The input CSV header must annotate each column as NAME:role[:kind], e.g.
 //
@@ -22,11 +28,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"diva"
 	"diva/internal/metrics"
@@ -47,6 +56,9 @@ func main() {
 		ldiv        = flag.Int("ldiversity", 0, "additionally require distinct l-diversity with this l (0 = off)")
 		parallel    = flag.Int("parallel", 0, "run this many concurrent coloring searches (0 = sequential)")
 		reportFmt   = flag.String("report", "", "write a run report to stderr: text, markdown or json")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		traceFlag   = flag.Bool("trace", false, "stream phase boundaries and portfolio outcomes to stderr")
+		metricsDump = flag.Bool("metrics", false, "dump the run's aggregated metrics as JSON on stderr")
 		hierarchies hierarchyFlags
 	)
 	flag.Var(&hierarchies, "hierarchy", "ATTR=FILE: generalize ATTR via the child->parent hierarchy in FILE instead of suppressing (repeatable)")
@@ -85,6 +97,10 @@ func main() {
 		fatal(err)
 	}
 
+	bl, err := diva.ParseBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
 	hs, err := hierarchies.load()
 	if err != nil {
 		fatal(err)
@@ -93,23 +109,43 @@ func main() {
 		K:           *k,
 		Strategy:    strat,
 		Seed:        *seed,
-		Baseline:    *baseline,
+		Baseline:    bl,
 		LDiversity:  *ldiv,
 		Parallel:    *parallel,
 		Hierarchies: hs,
+	}
+	if *traceFlag {
+		opts.Tracer = diva.NewWriterTracer(os.Stderr)
 	}
 	if hs != nil && *verify {
 		fatal(errors.New("-verify checks the strict R ⊑ R' relation, which generalized outputs do not satisfy; drop -verify or -hierarchy"))
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var out *diva.Relation
 	if len(sigma) == 0 {
-		out, err = diva.AnonymizeBaseline(rel, *baseline, opts)
+		out, err = diva.AnonymizeBaselineContext(ctx, rel, bl, opts)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		res, err := diva.Anonymize(rel, sigma, opts)
+		res, err := diva.AnonymizeContext(ctx, rel, sigma, opts)
+		if res != nil && res.Metrics != nil {
+			if *traceFlag {
+				dumpPhases(res.Metrics)
+			}
+			if *metricsDump {
+				enc := json.NewEncoder(os.Stderr)
+				enc.SetIndent("", "  ")
+				enc.Encode(res.Metrics)
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -145,6 +181,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "diva:", err)
 	os.Exit(1)
+}
+
+// dumpPhases prints the per-phase wall-time breakdown; the phases cover the
+// whole run, so their sum tracks the total.
+func dumpPhases(m *diva.RunMetrics) {
+	var sum time.Duration
+	for _, pt := range m.Phases {
+		fmt.Fprintf(os.Stderr, "phase %-12s %12s\n", pt.Phase, pt.Duration)
+		sum += pt.Duration
+	}
+	fmt.Fprintf(os.Stderr, "phase %-12s %12s (total %s)\n", "sum", sum, m.Total)
 }
 
 // hierarchyFlags collects repeated -hierarchy ATTR=FILE flags.

@@ -4,14 +4,19 @@
 // Usage:
 //
 //	divabench [-exp id[,id...]] [-scale 0.1] [-seed N] [-k 10] [-sigma 8]
-//	          [-csv] [-quiet]
+//	          [-csv] [-json] [-quiet]
 //
 // With no -exp, every experiment runs in paper order. -scale multiplies the
 // |R| sweeps (1.0 = the paper's full sizes; expect hours). -csv prints
-// machine-readable series instead of aligned text.
+// machine-readable series instead of aligned text; -json emits one JSON
+// document holding every experiment's table together with the engine's
+// per-phase wall-time breakdown (bind, build-graph, color, suppress,
+// baseline, integrate, verify) accumulated while the experiment ran. In
+// text mode the same breakdown appears as a note under each table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,18 +25,20 @@ import (
 	"strings"
 
 	"diva/internal/bench"
+	"diva/internal/trace"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "comma-separated experiment ids (default: all); one of table4, table5, fig4a..fig4d, fig5a..fig5d")
-		scale  = flag.Float64("scale", 0.1, "scale factor for |R| sweeps (1.0 = paper sizes)")
-		seed   = flag.Uint64("seed", 0, "random seed (0 = harness default)")
-		k      = flag.Int("k", 0, "default privacy parameter k (0 = harness default 10)")
-		sigma  = flag.Int("sigma", 0, "default |Sigma| (0 = harness default 8)")
-		csvOut = flag.Bool("csv", false, "emit CSV series instead of aligned text")
-		outDir = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
-		quiet  = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+		exp     = flag.String("exp", "", "comma-separated experiment ids (default: all); one of table4, table5, fig4a..fig4d, fig5a..fig5d")
+		scale   = flag.Float64("scale", 0.1, "scale factor for |R| sweeps (1.0 = paper sizes)")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = harness default)")
+		k       = flag.Int("k", 0, "default privacy parameter k (0 = harness default 10)")
+		sigma   = flag.Int("sigma", 0, "default |Sigma| (0 = harness default 8)")
+		csvOut  = flag.Bool("csv", false, "emit CSV series instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit one JSON document with every table and its phase breakdown")
+		outDir  = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
+		quiet   = flag.Bool("quiet", false, "suppress per-point progress on stderr")
 	)
 	flag.Parse()
 
@@ -55,6 +62,7 @@ func main() {
 	}
 
 	exit := 0
+	var tables []*bench.Table
 	for _, id := range ids {
 		e, ok := bench.Lookup(strings.TrimSpace(id))
 		if !ok {
@@ -62,18 +70,42 @@ func main() {
 			exit = 2
 			continue
 		}
+		// The engine folds every run's phase timings into the process-wide
+		// metrics registry; the delta across e.Run is this experiment's
+		// phase breakdown.
+		before := trace.GlobalTotals()
 		table, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "divabench: %s: %v\n", e.ID, err)
 			exit = 1
 			continue
 		}
-		printTable(os.Stdout, table, *csvOut)
+		phases := trace.PhaseSecondsSince(before)
+		if len(phases) > 0 {
+			table.PhaseSeconds = make(map[string]float64, len(phases))
+			for ph, s := range phases {
+				table.PhaseSeconds[string(ph)] = s
+			}
+			table.Notes = append(table.Notes, "engine phases: "+trace.FormatPhaseSeconds(phases))
+		}
+		if *jsonOut {
+			tables = append(tables, table)
+		} else {
+			printTable(os.Stdout, table, *csvOut)
+		}
 		if *outDir != "" {
 			if err := writeCSVFile(*outDir, table); err != nil {
 				fmt.Fprintf(os.Stderr, "divabench: %s: %v\n", e.ID, err)
 				exit = 1
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "divabench: %v\n", err)
+			exit = 1
 		}
 	}
 	os.Exit(exit)

@@ -18,18 +18,40 @@
 //		diva.NewConstraint("ETH", "Asian", 2, 5),
 //		diva.NewConstraint("CTY", "Vancouver", 2, 4),
 //	}
-//	res, err := diva.Anonymize(rel, sigma, diva.Options{
+//	res, err := diva.AnonymizeContext(ctx, rel, sigma, diva.Options{
 //		K:        3,
 //		Strategy: diva.MaxFanOut,
 //		Seed:     42,
 //	})
 //	if err != nil { ... }
 //	diva.WriteCSV(os.Stdout, res.Output)
+//
+// # Cancellation and observability
+//
+// AnonymizeContext is the primary entry point: the context cancels the run
+// at search-step granularity (the coloring) and split granularity (the
+// baseline partitioners), returning an error wrapping both ErrCanceled and
+// the context's own error; the Result returned alongside it is non-nil and
+// carries the partial RunMetrics. Anonymize is a thin wrapper over
+// context.Background() kept for existing callers — migrating is a
+// mechanical ctx-first argument insertion, no other call-site change.
+//
+// Set Options.Tracer to observe a run: phase boundaries (bind, build-graph,
+// color, suppress, baseline, integrate, verify), per-node assign/backtrack
+// events, candidate-cache hits and the portfolio's winning worker stream as
+// typed Events. NewWriterTracer renders them as text; any Tracer
+// implementation works. Whether or not a tracer is set, every Result
+// carries aggregated RunMetrics (per-phase wall times, step/backtrack
+// counts, cache statistics), each phase runs under a runtime/pprof
+// "diva_phase" label, and process-wide totals accumulate in expvar under
+// the "diva." prefix.
 package diva
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
+	"strings"
 
 	"diva/internal/anon"
 	"diva/internal/cluster"
@@ -40,6 +62,7 @@ import (
 	"diva/internal/privacy"
 	"diva/internal/relation"
 	"diva/internal/search"
+	"diva/internal/trace"
 )
 
 // Re-exported relational substrate types. See the internal/relation package
@@ -102,6 +125,57 @@ const (
 // the constraints exists (or none was found within the search budget).
 var ErrNoDiverseClustering = core.ErrNoDiverseClustering
 
+// ErrCanceled is returned (wrapped, alongside the context's own error) when
+// a run is stopped by context cancellation or deadline expiry. The Result
+// returned with it is non-nil and carries the partial RunMetrics.
+var ErrCanceled = core.ErrCanceled
+
+// Observability types, re-exported from the tracing layer. A Tracer set on
+// Options receives every Event of a run; RunMetrics is the aggregated
+// per-run summary attached to Result.Metrics.
+type (
+	// Tracer observes run events; implementations must be cheap, and must
+	// be safe for concurrent use only if shared across concurrent runs.
+	Tracer = trace.Tracer
+	// Event is one traced occurrence: a phase boundary, a search step or a
+	// portfolio outcome.
+	Event = trace.Event
+	// EventKind discriminates Event payloads.
+	EventKind = trace.EventKind
+	// Phase names one stage of a run.
+	Phase = trace.Phase
+	// RunMetrics aggregates one run's timings and counters.
+	RunMetrics = trace.RunMetrics
+	// PhaseTiming is one phase's measured wall time.
+	PhaseTiming = trace.PhaseTiming
+)
+
+// Event kinds.
+const (
+	KindPhaseStart = trace.KindPhaseStart
+	KindPhaseEnd   = trace.KindPhaseEnd
+	KindAssign     = trace.KindAssign
+	KindBacktrack  = trace.KindBacktrack
+	KindCandidates = trace.KindCandidates
+	KindCacheHit   = trace.KindCacheHit
+	KindWorkerWin  = trace.KindWorkerWin
+)
+
+// Run phases, in execution order.
+const (
+	PhaseBind       = trace.PhaseBind
+	PhaseBuildGraph = trace.PhaseBuildGraph
+	PhaseColor      = trace.PhaseColor
+	PhaseSuppress   = trace.PhaseSuppress
+	PhaseBaseline   = trace.PhaseBaseline
+	PhaseIntegrate  = trace.PhaseIntegrate
+	PhaseVerify     = trace.PhaseVerify
+)
+
+// NewWriterTracer returns a Tracer that renders phase boundaries and
+// portfolio outcomes as human-readable lines on w.
+func NewWriterTracer(w io.Writer) Tracer { return trace.NewWriter(w) }
+
 // NewSchema builds a schema from attributes; names must be unique.
 func NewSchema(attrs ...Attribute) (*Schema, error) { return relation.NewSchema(attrs...) }
 
@@ -141,6 +215,45 @@ func ParseConstraint(line string) (Constraint, error) { return constraint.Parse(
 // ParseConstraints reads one constraint per line; '#' starts a comment.
 func ParseConstraints(r io.Reader) (Constraints, error) { return constraint.ParseSet(r) }
 
+// Baseline selects an off-the-shelf k-anonymization algorithm. The type is
+// string-backed so existing code assigning string literals ("oka") keeps
+// compiling; prefer the typed constants, and use ParseBaseline for
+// user-supplied spellings.
+type Baseline string
+
+// The supported baseline algorithms.
+const (
+	// KMember is the greedy k-member clustering of Byun et al. (default).
+	KMember Baseline = "k-member"
+	// OKA is the one-pass k-means algorithm of Lin and Wei.
+	OKA Baseline = "oka"
+	// Mondrian is the multidimensional median partitioning of LeFevre et al.
+	Mondrian Baseline = "mondrian"
+)
+
+// String returns the canonical spelling; the zero value reads as KMember.
+func (b Baseline) String() string {
+	if b == "" {
+		return string(KMember)
+	}
+	return string(b)
+}
+
+// ParseBaseline maps a user-supplied name to a Baseline. It accepts the
+// canonical spellings, legacy variants ("kmember", "Mondrian", "OKA") and
+// any case; the empty string parses as KMember.
+func ParseBaseline(s string) (Baseline, error) {
+	switch strings.ToLower(s) {
+	case "", "k-member", "kmember":
+		return KMember, nil
+	case "oka":
+		return OKA, nil
+	case "mondrian":
+		return Mondrian, nil
+	}
+	return "", &UnknownBaselineError{Name: s}
+}
+
 // Options configures Anonymize.
 type Options struct {
 	// K is the privacy parameter: minimum QI-group size. Required, ≥ 1.
@@ -156,8 +269,10 @@ type Options struct {
 	// MaxSteps caps coloring search steps (0 = 1,000,000).
 	MaxSteps int
 	// Baseline selects the off-the-shelf anonymizer for tuples outside the
-	// diverse clustering: "k-member" (default), "oka" or "mondrian".
-	Baseline string
+	// diverse clustering: KMember (default), OKA or Mondrian. String
+	// literals still assign (the type is string-backed); ParseBaseline
+	// normalizes legacy spellings.
+	Baseline Baseline
 	// SampleCap bounds k-member's greedy candidate scans (0 = exact). The
 	// experiment harness uses 512 on large relations.
 	SampleCap int
@@ -175,50 +290,62 @@ type Options struct {
 	// strict R ⊑ R′ relation holds only under suppression); check them
 	// with IsKAnonymous, Constraints.SatisfiedBy and NCP instead.
 	Hierarchies Hierarchies
+	// Tracer, when non-nil, receives the run's Events: phase boundaries,
+	// per-node search steps and portfolio outcomes. Run metrics are
+	// collected on Result.Metrics whether or not a Tracer is set.
+	Tracer Tracer
 }
 
 func (o Options) rng() *rand.Rand {
 	return rand.New(rand.NewPCG(o.Seed, o.Seed^0xda3e39cb94b95bdb))
 }
 
-func (o Options) partitioner(rng *rand.Rand) anon.Partitioner {
-	switch o.Baseline {
-	case "", "k-member", "kmember":
-		return &anon.KMember{Rng: rng, SampleCap: o.SampleCap}
-	case "oka", "OKA":
-		return &anon.OKA{Rng: rng}
-	case "mondrian", "Mondrian":
-		return &anon.Mondrian{}
-	default:
-		return nil
+func (o Options) criterion() privacy.Criterion {
+	if o.LDiversity >= 2 {
+		return privacy.DistinctLDiversity{L: o.LDiversity}
 	}
+	return nil
 }
 
-// Anonymize runs DIVA: it returns a k-anonymous relation R′ with R ⊑ R′
-// satisfying every constraint in sigma, with minimal suppression. It
-// returns an error wrapping ErrNoDiverseClustering when no such relation
-// exists.
-func Anonymize(rel *Relation, sigma Constraints, opts Options) (*Result, error) {
-	rng := opts.rng()
-	var crit privacy.Criterion
-	if opts.LDiversity >= 2 {
-		crit = privacy.DistinctLDiversity{L: opts.LDiversity}
+// newPartitioner is the single construction point for baseline
+// partitioners, shared by AnonymizeContext and AnonymizeBaselineContext so
+// the two paths cannot diverge on criterion handling: every baseline
+// receives the privacy criterion, and OKA — which cannot enforce one — is
+// rejected rather than silently weakened.
+func (o Options) newPartitioner(rng *rand.Rand, crit privacy.Criterion) (anon.Partitioner, error) {
+	b, err := ParseBaseline(string(o.Baseline))
+	if err != nil {
+		return nil, err
 	}
-	var p anon.Partitioner
-	switch opts.Baseline {
-	case "", "k-member", "kmember":
-		p = &anon.KMember{Rng: rng, SampleCap: opts.SampleCap, Criterion: crit}
-	case "mondrian", "Mondrian":
-		p = &anon.Mondrian{Criterion: crit}
-	case "oka", "OKA":
+	switch b {
+	case KMember:
+		return &anon.KMember{Rng: rng, SampleCap: o.SampleCap, Criterion: crit}, nil
+	case Mondrian:
+		return &anon.Mondrian{Criterion: crit}, nil
+	case OKA:
 		if crit != nil {
-			return nil, &UnknownBaselineError{Name: opts.Baseline + " (OKA does not support l-diversity; use k-member or mondrian)"}
+			return nil, &UnknownBaselineError{Name: string(o.Baseline) + " (OKA does not support l-diversity; use k-member or mondrian)"}
 		}
-		p = &anon.OKA{Rng: rng}
-	default:
-		return nil, &UnknownBaselineError{Name: opts.Baseline}
+		return &anon.OKA{Rng: rng}, nil
 	}
-	return core.Anonymize(rel, sigma, core.Options{
+	return nil, &UnknownBaselineError{Name: string(o.Baseline)}
+}
+
+// AnonymizeContext runs DIVA under ctx: it returns a k-anonymous relation
+// R′ with R ⊑ R′ satisfying every constraint in sigma, with minimal
+// suppression. It returns an error wrapping ErrNoDiverseClustering when no
+// such relation exists, and one wrapping ErrCanceled (and the context's
+// error) when ctx is canceled or its deadline expires. On every outcome —
+// success, ErrNoDiverseClustering or ErrCanceled — the returned Result is
+// non-nil and carries the run's Metrics; on error its relations are nil.
+func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opts Options) (*Result, error) {
+	rng := opts.rng()
+	crit := opts.criterion()
+	p, err := opts.newPartitioner(rng, crit)
+	if err != nil {
+		return nil, err
+	}
+	return core.Anonymize(ctx, rel, sigma, core.Options{
 		K:           opts.K,
 		Strategy:    opts.Strategy,
 		Rng:         rng,
@@ -228,7 +355,15 @@ func Anonymize(rel *Relation, sigma Constraints, opts Options) (*Result, error) 
 		Criterion:   crit,
 		Parallel:    opts.Parallel,
 		Hierarchies: opts.Hierarchies,
+		Tracer:      opts.Tracer,
 	})
+}
+
+// Anonymize runs DIVA without cancellation; it is AnonymizeContext with
+// context.Background() and is kept for callers that have no context to
+// thread.
+func Anonymize(rel *Relation, sigma Constraints, opts Options) (*Result, error) {
+	return AnonymizeContext(context.Background(), rel, sigma, opts)
 }
 
 // NewIntervalHierarchy builds a numeric generalization hierarchy over
@@ -256,18 +391,26 @@ func IsLDiverse(rel *Relation, l int) bool {
 	return ok
 }
 
-// AnonymizeBaseline runs one of the classical k-anonymizers ("k-member",
-// "oka", "mondrian") over the whole relation without diversity constraints,
-// returning the suppressed k-anonymous relation.
-func AnonymizeBaseline(rel *Relation, baseline string, opts Options) (*Relation, error) {
+// AnonymizeBaselineContext runs one of the classical k-anonymizers
+// (KMember, OKA, Mondrian) over the whole relation without diversity
+// constraints, returning the suppressed k-anonymous relation. It honors
+// Options.LDiversity exactly as AnonymizeContext does — the partitioner
+// enforces the criterion, and OKA rejects it — and reports cancellation as
+// an error wrapping ErrCanceled.
+func AnonymizeBaselineContext(ctx context.Context, rel *Relation, baseline Baseline, opts Options) (*Relation, error) {
 	rng := opts.rng()
 	o := opts
 	o.Baseline = baseline
-	p := o.partitioner(rng)
-	if p == nil {
-		return nil, &UnknownBaselineError{Name: baseline}
+	p, err := o.newPartitioner(rng, o.criterion())
+	if err != nil {
+		return nil, err
 	}
-	return core.RunBaseline(rel, p, opts.K)
+	return core.RunBaseline(ctx, rel, p, opts.K, opts.Tracer)
+}
+
+// AnonymizeBaseline is AnonymizeBaselineContext with context.Background().
+func AnonymizeBaseline(rel *Relation, baseline Baseline, opts Options) (*Relation, error) {
+	return AnonymizeBaselineContext(context.Background(), rel, baseline, opts)
 }
 
 // UnknownBaselineError reports an unrecognized baseline name.

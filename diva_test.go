@@ -94,7 +94,7 @@ func TestPublicUnsatisfiable(t *testing.T) {
 
 func TestPublicBaselines(t *testing.T) {
 	rel := loadPatients(t)
-	for _, name := range []string{"k-member", "oka", "mondrian"} {
+	for _, name := range []diva.Baseline{diva.KMember, diva.OKA, diva.Mondrian} {
 		out, err := diva.AnonymizeBaseline(rel, name, diva.Options{K: 3, Seed: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -145,7 +145,7 @@ func TestPipelineAllBaselinesAgainstConstraints(t *testing.T) {
 	}
 
 	violations := 0
-	for _, b := range []string{"k-member", "oka", "mondrian"} {
+	for _, b := range []diva.Baseline{diva.KMember, diva.OKA, diva.Mondrian} {
 		out, err := diva.AnonymizeBaseline(rel, b, diva.Options{K: 8, Seed: 6, SampleCap: 128})
 		if err != nil {
 			t.Fatal(err)

@@ -15,6 +15,7 @@
 package anon
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -28,11 +29,17 @@ type Partitioner interface {
 	// Partition splits the given rows of rel into clusters of ≥ k rows.
 	// It returns an error when len(rows) > 0 and len(rows) < k, since no
 	// legal partition exists. An empty rows slice yields an empty partition.
-	Partition(rel *relation.Relation, rows []int, k int) ([][]int, error)
+	// ctx cancels the partitioning at cluster/split granularity: a canceled
+	// context makes Partition return ctx.Err() promptly. A nil ctx never
+	// cancels.
+	Partition(ctx context.Context, rel *relation.Relation, rows []int, k int) ([][]int, error)
 }
 
 // checkPartitionable validates the common preconditions.
-func checkPartitionable(rows []int, k int) error {
+func checkPartitionable(ctx context.Context, rows []int, k int) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if k < 1 {
 		return fmt.Errorf("anon: k must be ≥ 1, got %d", k)
 	}
@@ -40,6 +47,19 @@ func checkPartitionable(rows []int, k int) error {
 		return fmt.Errorf("anon: cannot %d-anonymize %d tuples", k, len(rows))
 	}
 	return nil
+}
+
+// ctxErr is a non-blocking cancellation probe tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // distancer computes tuple-to-tuple distances over QI attributes: numeric

@@ -1,6 +1,7 @@
 package anon
 
 import (
+	"context"
 	"math/rand/v2"
 	"strconv"
 	"testing"
@@ -86,7 +87,7 @@ func TestPartitionersContract(t *testing.T) {
 				}
 				rel := randomRelation(rng, n)
 				rows := allRows(rel)
-				parts, err := p.Partition(rel, rows, k)
+				parts, err := p.Partition(context.Background(), rel, rows, k)
 				if err != nil {
 					t.Fatalf("%s n=%d k=%d: %v", p.Name(), n, k, err)
 				}
@@ -100,10 +101,10 @@ func TestPartitionersRejectInfeasible(t *testing.T) {
 	rng := testRng()
 	rel := randomRelation(rng, 3)
 	for _, p := range partitioners(rng) {
-		if _, err := p.Partition(rel, allRows(rel), 5); err == nil {
+		if _, err := p.Partition(context.Background(), rel, allRows(rel), 5); err == nil {
 			t.Errorf("%s: k > n accepted", p.Name())
 		}
-		if _, err := p.Partition(rel, allRows(rel), 0); err == nil {
+		if _, err := p.Partition(context.Background(), rel, allRows(rel), 0); err == nil {
 			t.Errorf("%s: k = 0 accepted", p.Name())
 		}
 	}
@@ -113,7 +114,7 @@ func TestPartitionersEmptyInput(t *testing.T) {
 	rng := testRng()
 	rel := randomRelation(rng, 5)
 	for _, p := range partitioners(rng) {
-		parts, err := p.Partition(rel, nil, 3)
+		parts, err := p.Partition(context.Background(), rel, nil, 3)
 		if err != nil || len(parts) != 0 {
 			t.Errorf("%s: empty input gave %v, %v", p.Name(), parts, err)
 		}
@@ -125,7 +126,7 @@ func TestPartitionSubsetOnly(t *testing.T) {
 	rel := randomRelation(rng, 40)
 	subset := []int{3, 7, 11, 15, 19, 23, 27, 31}
 	for _, p := range partitioners(rng) {
-		parts, err := p.Partition(rel, subset, 3)
+		parts, err := p.Partition(context.Background(), rel, subset, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -154,7 +155,7 @@ func TestKMemberGroupsSimilarTuples(t *testing.T) {
 		rel.MustAppendValues("F", "70", "Halifax", "D2")
 	}
 	km := &KMember{Rng: testRng()}
-	parts, err := km.Partition(rel, allRows(rel), 3)
+	parts, err := km.Partition(context.Background(), rel, allRows(rel), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestMondrianSplitsWideAttribute(t *testing.T) {
 		rel.MustAppendValues("M", strconv.Itoa(70+i), "Calgary", "D")
 	}
 	m := &Mondrian{}
-	parts, err := m.Partition(rel, allRows(rel), 5)
+	parts, err := m.Partition(context.Background(), rel, allRows(rel), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestMondrianUniformDataSinglePartition(t *testing.T) {
 		rel.MustAppendValues("M", "30", "Calgary", "D")
 	}
 	m := &Mondrian{}
-	parts, err := m.Partition(rel, allRows(rel), 3)
+	parts, err := m.Partition(context.Background(), rel, allRows(rel), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +212,11 @@ func TestMondrianUniformDataSinglePartition(t *testing.T) {
 func TestOKADeterministicWithSeed(t *testing.T) {
 	relA := randomRelation(rand.New(rand.NewPCG(5, 5)), 50)
 	relB := randomRelation(rand.New(rand.NewPCG(5, 5)), 50)
-	pa, err := (&OKA{Rng: rand.New(rand.NewPCG(9, 9))}).Partition(relA, allRows(relA), 4)
+	pa, err := (&OKA{Rng: rand.New(rand.NewPCG(9, 9))}).Partition(context.Background(), relA, allRows(relA), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := (&OKA{Rng: rand.New(rand.NewPCG(9, 9))}).Partition(relB, allRows(relB), 4)
+	pb, err := (&OKA{Rng: rand.New(rand.NewPCG(9, 9))}).Partition(context.Background(), relB, allRows(relB), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestPartitionersProperty(t *testing.T) {
 		rel := randomRelation(rng, n)
 		rows := allRows(rel)
 		for _, p := range partitioners(rng) {
-			parts, err := p.Partition(rel, rows, k)
+			parts, err := p.Partition(context.Background(), rel, rows, k)
 			if err != nil {
 				t.Fatalf("%s n=%d k=%d: %v", p.Name(), n, k, err)
 			}

@@ -1,6 +1,7 @@
 package anon
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"testing"
@@ -24,7 +25,7 @@ func BenchmarkPartitioners(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/rows=%d", p.Name(), rows), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					parts, err := p.Partition(rel, all, 10)
+					parts, err := p.Partition(context.Background(), rel, all, 10)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -48,7 +49,7 @@ func BenchmarkKMemberExactVsSampled(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				km := &KMember{Rng: rand.New(rand.NewPCG(1, 2)), SampleCap: cap}
-				if _, err := km.Partition(rel, all, 10); err != nil {
+				if _, err := km.Partition(context.Background(), rel, all, 10); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package anon
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -38,9 +39,10 @@ type KMember struct {
 // Name returns "k-member".
 func (km *KMember) Name() string { return "k-member" }
 
-// Partition implements Partitioner.
-func (km *KMember) Partition(rel *relation.Relation, rows []int, k int) ([][]int, error) {
-	if err := checkPartitionable(rows, k); err != nil {
+// Partition implements Partitioner. The context is checked once per grown
+// cluster, so cancellation latency is one greedy cluster construction.
+func (km *KMember) Partition(ctx context.Context, rel *relation.Relation, rows []int, k int) ([][]int, error) {
+	if err := checkPartitionable(ctx, rows, k); err != nil {
 		return nil, err
 	}
 	if len(rows) == 0 {
@@ -64,6 +66,9 @@ func (km *KMember) Partition(rel *relation.Relation, rows []int, k int) ([][]int
 	prevSeed := live[km.Rng.IntN(len(live))]
 
 	for len(live) >= k {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		// Seed: record furthest from the previous seed (first iteration:
 		// furthest from a random record, as in the original algorithm).
 		seedPos, best := 0, -1.0

@@ -1,6 +1,7 @@
 package anon
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,9 +27,10 @@ type Mondrian struct {
 // Name returns "Mondrian".
 func (m *Mondrian) Name() string { return "Mondrian" }
 
-// Partition implements Partitioner.
-func (m *Mondrian) Partition(rel *relation.Relation, rows []int, k int) ([][]int, error) {
-	if err := checkPartitionable(rows, k); err != nil {
+// Partition implements Partitioner. The context is checked before every
+// recursive split, so cancellation latency is one median cut.
+func (m *Mondrian) Partition(ctx context.Context, rel *relation.Relation, rows []int, k int) ([][]int, error) {
+	if err := checkPartitionable(ctx, rows, k); err != nil {
 		return nil, err
 	}
 	if len(rows) == 0 {
@@ -41,11 +43,16 @@ func (m *Mondrian) Partition(rel *relation.Relation, rows []int, k int) ([][]int
 	part := make([]int, len(rows))
 	copy(part, rows)
 	var out [][]int
-	m.split(rel, d, part, k, &out)
+	if err := m.split(ctx, rel, d, part, k, &out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-func (m *Mondrian) split(rel *relation.Relation, d *distancer, part []int, k int, out *[][]int) {
+func (m *Mondrian) split(ctx context.Context, rel *relation.Relation, d *distancer, part []int, k int, out *[][]int) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if len(part) >= 2*k {
 		// Try attributes in descending width order until one admits an
 		// allowable cut.
@@ -57,12 +64,14 @@ func (m *Mondrian) split(rel *relation.Relation, d *distancer, part []int, k int
 			if m.Criterion != nil && (!m.Criterion.Holds(rel, left) || !m.Criterion.Holds(rel, right)) {
 				continue
 			}
-			m.split(rel, d, left, k, out)
-			m.split(rel, d, right, k, out)
-			return
+			if err := m.split(ctx, rel, d, left, k, out); err != nil {
+				return err
+			}
+			return m.split(ctx, rel, d, right, k, out)
 		}
 	}
 	*out = append(*out, part)
+	return nil
 }
 
 // attrsByWidth orders the QI attribute positions (indexes into d.qi) by

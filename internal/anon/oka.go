@@ -1,6 +1,7 @@
 package anon
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 
@@ -101,9 +102,10 @@ func (c *okaCluster) dist(rel *relation.Relation, d *distancer, row int) float64
 	return total
 }
 
-// Partition implements Partitioner.
-func (o *OKA) Partition(rel *relation.Relation, rows []int, k int) ([][]int, error) {
-	if err := checkPartitionable(rows, k); err != nil {
+// Partition implements Partitioner. The context is checked between the
+// seeding, assignment and adjustment stages and periodically within them.
+func (o *OKA) Partition(ctx context.Context, rel *relation.Relation, rows []int, k int) ([][]int, error) {
+	if err := checkPartitionable(ctx, rows, k); err != nil {
 		return nil, err
 	}
 	if len(rows) == 0 {
@@ -138,7 +140,12 @@ func (o *OKA) Partition(rel *relation.Relation, rows []int, k int) ([][]int, err
 		}
 		return rest[x] < rest[y]
 	})
-	for _, row := range rest {
+	for i, row := range rest {
+		if i%1024 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		bestIdx, bestDist := 0, clusters[0].dist(rel, d, row)
 		for i := 1; i < nClusters; i++ {
 			if dist := clusters[i].dist(rel, d, row); dist < bestDist {
@@ -159,6 +166,9 @@ func (o *OKA) Partition(rel *relation.Relation, rows []int, k int) ([][]int, err
 		}
 	}
 	for _, taker := range takers {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		for len(taker.members) < k {
 			// Take from the donor with the most surplus the record farthest
 			// from the donor's centroid.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -38,7 +39,7 @@ func AblationCandidateCap(cfg Config) (*Table, error) {
 	for _, cap := range []int{4, 8, 16, 64, 256} {
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(cap)))
 		start := time.Now()
-		res, err := core.Anonymize(rel, sigma, core.Options{
+		res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 			K:          cfg.K,
 			Strategy:   search.MaxFanOut,
 			Rng:        rng,
@@ -101,7 +102,7 @@ func AblationParallel(cfg Config) (*Table, error) {
 	run := func(label string, parallel int, strat search.Strategy) {
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(parallel)+uint64(strat)))
 		start := time.Now()
-		res, err := core.Anonymize(rel, sigma, core.Options{
+		res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 			K:          cfg.K,
 			Strategy:   strat,
 			Rng:        rng,

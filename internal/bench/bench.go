@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -89,21 +90,25 @@ func (c Config) scaled(rows int) int {
 
 // Row is one x-axis point of a result table.
 type Row struct {
-	X      string
-	Values []float64
+	X      string    `json:"x"`
+	Values []float64 `json:"values"`
 }
 
 // Table is one reproduced table or figure.
 type Table struct {
-	ID      string
-	Title   string
-	XLabel  string
-	YLabel  string
-	Columns []string
-	Rows    []Row
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	XLabel  string   `json:"x_label"`
+	YLabel  string   `json:"y_label"`
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
 	// Notes carries per-run context (scale, dataset sizes) recorded into
 	// EXPERIMENTS.md.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+	// PhaseSeconds, when set by the caller, is the engine-phase wall-time
+	// breakdown accumulated while the experiment ran (from the process-wide
+	// metrics registry), keyed by phase name.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // Print renders the table as aligned text.
@@ -226,7 +231,7 @@ func strategyColumns() []string {
 func runDIVA(rel *relation.Relation, sigma constraint.Set, k int, strat search.Strategy, cfg Config, seed uint64) (acc, secs float64) {
 	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef12345))
 	start := time.Now()
-	res, err := core.Anonymize(rel, sigma, core.Options{
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 		K:          k,
 		Strategy:   strat,
 		Rng:        rng,
@@ -245,7 +250,7 @@ func runDIVA(rel *relation.Relation, sigma constraint.Set, k int, strat search.S
 // runBaseline measures one baseline k-anonymization run.
 func runBaseline(rel *relation.Relation, p anon.Partitioner, k int, cfg Config) (acc, secs float64) {
 	start := time.Now()
-	out, err := core.RunBaseline(rel, p, k)
+	out, err := core.RunBaseline(context.Background(), rel, p, k, nil)
 	secs = time.Since(start).Seconds()
 	if err != nil {
 		cfg.logf("    %s failed: %v", p.Name(), err)

@@ -30,7 +30,7 @@ func BenchmarkCandidates(b *testing.B) {
 		b.Run(fmt.Sprintf("rows=%d/target=%d", rows, bestN), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if len(e.Candidates(nil)) == 0 {
+				if len(e.Candidates(nil, nil)) == 0 {
 					b.Fatal("no candidates")
 				}
 			}
@@ -51,7 +51,7 @@ func BenchmarkCandidatesWithExclusions(b *testing.B) {
 	used := func(row int) bool { return row%3 == 0 } // a third of rows taken
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if len(e.Candidates(used)) == 0 {
+		if len(e.Candidates(nil, used)) == 0 {
 			b.Fatal("no candidates")
 		}
 	}

@@ -22,6 +22,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 
 	"diva/internal/constraint"
@@ -136,10 +137,30 @@ func (e *Enumerator) TargetSize() int { return len(e.sorted) }
 // The empty clustering is included (first) iff the constraint's lower bound
 // is zero. An empty result means no clustering within the enumeration
 // budget satisfies the constraint on the available rows.
-func (e *Enumerator) Candidates(used func(row int) bool) []Clustering {
+//
+// ctx bounds the enumeration: when it is canceled, Candidates returns early
+// with whatever was enumerated so far (the coloring search re-checks the
+// context at its next step and aborts the run). A nil ctx never cancels.
+func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []Clustering {
 	var out []Clustering
 	if e.b.Lower == 0 {
 		out = append(out, Clustering{})
+	}
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 
 	avail := e.sorted
@@ -229,6 +250,9 @@ func (e *Enumerator) Candidates(used func(row int) bool) []Clustering {
 	}
 	sizes := windowSizes(minSize, maxSize, e.opts.MaxWindowSizes)
 	for _, s := range sizes {
+		if canceled() {
+			return out
+		}
 		nWindows := m - s + 1
 		if nWindows <= 0 {
 			continue
@@ -287,6 +311,9 @@ func (e *Enumerator) Candidates(used func(row int) bool) []Clustering {
 		budget := e.opts.MaxCandidates
 	pairing:
 		for i := 0; i < len(base); i++ {
+			if canceled() {
+				break pairing
+			}
 			for j := i + 1; j < len(base); j++ {
 				wi, wj := base[i], base[j]
 				if wi.hi1 > wj.lo1 && wj.hi1 > wi.lo1 {
@@ -416,7 +443,8 @@ func windowSizes(minSize, maxSize, budget int) []int {
 }
 
 // Candidates enumerates candidates for b over rel with all target rows
-// available. It is shorthand for NewEnumerator(rel, b, opts).Candidates(nil).
+// available. It is shorthand for
+// NewEnumerator(rel, b, opts).Candidates(nil, nil).
 func Candidates(rel *relation.Relation, b *constraint.Bound, opts Options) []Clustering {
-	return NewEnumerator(rel, b, opts).Candidates(nil)
+	return NewEnumerator(rel, b, opts).Candidates(nil, nil)
 }

@@ -133,7 +133,7 @@ func TestCandidatesExcludeUsedRows(t *testing.T) {
 	b := mustBind(t, rel, constraint.New("ETH", "Asian", 2, 5))
 	e := NewEnumerator(rel, b, Options{K: 2})
 	used := map[int]bool{3: true, 5: true, 7: true} // three of five Asian rows
-	cands := e.Candidates(func(row int) bool { return used[row] })
+	cands := e.Candidates(nil, func(row int) bool { return used[row] })
 	if len(cands) == 0 {
 		t.Fatal("no candidates on remaining rows")
 	}

@@ -5,10 +5,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"diva/internal/anon"
 	"diva/internal/cluster"
@@ -18,12 +21,20 @@ import (
 	"diva/internal/privacy"
 	"diva/internal/relation"
 	"diva/internal/search"
+	"diva/internal/trace"
 )
 
 // ErrNoDiverseClustering is returned when no k-anonymous relation
 // satisfying the diversity constraints exists (or none was found within the
 // search budget) — the paper's "relation does not exist" outcome.
 var ErrNoDiverseClustering = errors.New("diva: no diverse k-anonymous relation exists")
+
+// ErrCanceled is returned when a run was aborted by context cancellation or
+// deadline expiry. Errors on this path also wrap the context's own error, so
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded distinguish
+// the two causes; the accompanying Result carries the partial RunMetrics of
+// the phases that completed before the abort.
+var ErrCanceled = errors.New("diva: run canceled")
 
 // Options configures a DIVA run.
 type Options struct {
@@ -64,6 +75,11 @@ type Options struct {
 	// ones, contribute no target occurrences — but the published relation
 	// retains partial information, priced by hierarchy.NCP.
 	Hierarchies hierarchy.Set
+	// Tracer, when non-nil, receives the run's typed events: phase
+	// boundaries, per-node search activity, candidate-cache hits and
+	// portfolio outcomes. The engine always aggregates the same events into
+	// Result.Metrics regardless.
+	Tracer trace.Tracer
 }
 
 // Result carries the output of a DIVA run along with its intermediate
@@ -82,126 +98,239 @@ type Result struct {
 	Stats search.Stats
 	// RepairedCells counts QI cells additionally suppressed by Integrate.
 	RepairedCells int
+	// Metrics aggregates the run's observability data: per-phase wall
+	// times, search effort, candidate-cache effectiveness and the portfolio
+	// outcome. It is non-nil on success and on the ErrNoDiverseClustering
+	// and ErrCanceled error paths (a failed run's Result carries Metrics
+	// and Stats only; its relations are nil).
+	Metrics *trace.RunMetrics
 }
 
 // Anonymize runs DIVA on rel with diversity constraints sigma: it computes
 // a k-anonymous relation R′ with R ⊑ R′ and R′ |= Σ, with minimal
 // suppression. It returns ErrNoDiverseClustering (possibly wrapped) when no
-// such relation exists or none was found within the search budget.
-func Anonymize(rel *relation.Relation, sigma constraint.Set, opts Options) (*Result, error) {
+// such relation exists or none was found within the search budget, and
+// ErrCanceled (wrapping the context's error) when ctx is canceled or its
+// deadline expires — the coloring search honors the context at step
+// granularity, the partitioners at split granularity.
+//
+// Every run is decomposed into timed phases (bind, build-graph, color,
+// suppress, baseline, integrate, verify) reported through opts.Tracer and
+// aggregated into Result.Metrics; each phase executes under a
+// runtime/pprof "diva_phase" label so CPU profiles attribute time to
+// coloring vs. baseline partitioning. On error the returned Result is still
+// non-nil and carries the partial Metrics (its relations are nil).
+func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	rec := trace.NewRecorder()
+	tr := trace.Tee(opts.Tracer, rec)
+	var stats search.Stats
+
+	// finish stamps the run's metrics onto the result (building an
+	// otherwise-empty one on error paths), normalizes context errors to
+	// ErrCanceled, and folds the run into the process-wide registry.
+	finish := func(res *Result, err error) (*Result, error) {
+		if err != nil && !errors.Is(err, ErrCanceled) &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			err = fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		m := rec.Snapshot()
+		m.Total = time.Since(start)
+		m.Steps, m.Backtracks, m.CandidatesTried = stats.Steps, stats.Backtracks, stats.CandidatesTried
+		m.CandidateCacheHits, m.CandidateCacheMisses = stats.CacheHits, stats.CacheMisses
+		m.PortfolioWorkers = opts.Parallel
+		m.Canceled = errors.Is(err, ErrCanceled)
+		if res == nil {
+			res = &Result{}
+		}
+		res.Stats = stats
+		res.Metrics = m
+		trace.RecordGlobal(m, err)
+		return res, err
+	}
+	// phase runs one stage under its trace events and pprof label. It
+	// short-circuits with the context's error when the run is already
+	// canceled, so no phase starts after cancellation.
+	phase := func(ph trace.Phase, f func(context.Context) error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tr.Trace(trace.Event{Kind: trace.KindPhaseStart, Phase: ph})
+		pstart := time.Now()
+		var err error
+		pprof.Do(ctx, pprof.Labels("diva_phase", string(ph)), func(c context.Context) {
+			err = f(c)
+		})
+		tr.Trace(trace.Event{Kind: trace.KindPhaseEnd, Phase: ph, Elapsed: time.Since(pstart)})
+		return err
+	}
+
 	if opts.K < 1 {
-		return nil, fmt.Errorf("diva: k must be ≥ 1, got %d", opts.K)
+		return finish(nil, fmt.Errorf("diva: k must be ≥ 1, got %d", opts.K))
 	}
 	if rel.Len() > 0 && rel.Len() < opts.K {
-		return nil, fmt.Errorf("diva: cannot %d-anonymize %d tuples: %w", opts.K, rel.Len(), ErrNoDiverseClustering)
-	}
-	if err := sigma.Validate(); err != nil {
-		return nil, err
-	}
-	bounds, err := sigma.Bind(rel)
-	if err != nil {
-		return nil, err
+		return finish(nil, fmt.Errorf("diva: cannot %d-anonymize %d tuples: %w", opts.K, rel.Len(), ErrNoDiverseClustering))
 	}
 	if opts.Anonymizer == nil {
 		opts.Anonymizer = &anon.KMember{Rng: opts.Rng, SampleCap: 512, Criterion: opts.Criterion}
 	}
 
-	// Constraints whose targets involve no QI attribute are invariant under
-	// suppression: their occurrence counts cannot change in any R ⊑ R′, so
-	// they must already hold in R and take no part in the search.
+	// Bind: validate Σ, resolve its targets against R, and split off the
+	// constraints whose targets involve no QI attribute — those are
+	// invariant under suppression (their occurrence counts cannot change in
+	// any R ⊑ R′), so they must already hold in R and take no part in the
+	// search.
 	schema := rel.Schema()
-	var searchable []*constraint.Bound
-	for _, b := range bounds {
-		hasQI := false
-		for _, a := range b.Attrs {
-			if schema.Attr(a).Role == relation.QI {
-				hasQI = true
-				break
-			}
+	var bounds, searchable []*constraint.Bound
+	err := phase(trace.PhaseBind, func(context.Context) error {
+		if err := sigma.Validate(); err != nil {
+			return err
 		}
-		if !hasQI {
-			if n := b.CountIn(rel); n < b.Lower || n > b.Upper {
-				return nil, fmt.Errorf("diva: constraint (%s) targets only non-QI attributes and R has %d occurrences: %w", b, n, ErrNoDiverseClustering)
-			}
-			continue
+		var err error
+		bounds, err = sigma.Bind(rel)
+		if err != nil {
+			return err
 		}
-		searchable = append(searchable, b)
+		for _, b := range bounds {
+			hasQI := false
+			for _, a := range b.Attrs {
+				if schema.Attr(a).Role == relation.QI {
+					hasQI = true
+					break
+				}
+			}
+			if !hasQI {
+				if n := b.CountIn(rel); n < b.Lower || n > b.Upper {
+					return fmt.Errorf("diva: constraint (%s) targets only non-QI attributes and R has %d occurrences: %w", b, n, ErrNoDiverseClustering)
+				}
+				continue
+			}
+			searchable = append(searchable, b)
+		}
+		return nil
+	})
+	if err != nil {
+		return finish(nil, err)
 	}
 
 	// DiverseClustering (Algorithm 3): build the constraint graph and color
 	// it.
-	copts := opts.Cluster
-	copts.K = opts.K
-	copts.Criterion = opts.Criterion
-	graph := search.BuildGraph(rel, searchable, copts)
+	var graph *search.Graph
+	err = phase(trace.PhaseBuildGraph, func(context.Context) error {
+		copts := opts.Cluster
+		copts.K = opts.K
+		copts.Criterion = opts.Criterion
+		graph = search.BuildGraph(rel, searchable, copts)
+		return nil
+	})
+	if err != nil {
+		return finish(nil, err)
+	}
+
 	n := rel.Len()
-	searchOpts := search.Options{
-		Strategy: opts.Strategy,
-		Rng:      opts.Rng,
-		MaxSteps: opts.MaxSteps,
-		Accept: func(used int) bool {
-			rest := n - used
-			return rest == 0 || rest >= opts.K
-		},
-	}
-	var (
-		sigmaClustering cluster.Clustering
-		stats           search.Stats
-		found           bool
-	)
-	if opts.Parallel > 0 {
-		sigmaClustering, stats, found = graph.ColorPortfolio(searchOpts, opts.Parallel, opts.Rng.Uint64())
-	} else {
-		sigmaClustering, stats, found = graph.Color(searchOpts)
-	}
-	if !found {
-		return nil, fmt.Errorf("diva: coloring failed after %d steps (%d backtracks): %w", stats.Steps, stats.Backtracks, ErrNoDiverseClustering)
+	var sigmaClustering cluster.Clustering
+	err = phase(trace.PhaseColor, func(c context.Context) error {
+		searchOpts := search.Options{
+			Strategy: opts.Strategy,
+			Rng:      opts.Rng,
+			MaxSteps: opts.MaxSteps,
+			Ctx:      c,
+			Tracer:   tr,
+			Accept: func(used int) bool {
+				rest := n - used
+				return rest == 0 || rest >= opts.K
+			},
+		}
+		var found bool
+		if opts.Parallel > 0 {
+			sigmaClustering, stats, found = graph.ColorPortfolio(searchOpts, opts.Parallel, opts.Rng.Uint64())
+		} else {
+			sigmaClustering, stats, found = graph.Color(searchOpts)
+		}
+		if !found {
+			if stats.Err != nil {
+				return fmt.Errorf("diva: coloring interrupted after %d steps (%d backtracks): %w", stats.Steps, stats.Backtracks, stats.Err)
+			}
+			return fmt.Errorf("diva: coloring failed after %d steps (%d backtracks): %w", stats.Steps, stats.Backtracks, ErrNoDiverseClustering)
+		}
+		return nil
+	})
+	if err != nil {
+		return finish(nil, err)
 	}
 
 	// Suppress (Algorithm 2) on SΣ gives RΣ (generalized rendering when
 	// hierarchies are supplied).
-	diverse := SuppressGeneralize(rel, sigmaClustering, opts.Hierarchies)
+	var diverse *relation.Relation
+	var rest []int
+	err = phase(trace.PhaseSuppress, func(context.Context) error {
+		diverse = SuppressGeneralize(rel, sigmaClustering, opts.Hierarchies)
+		used := make(map[int]bool, sigmaClustering.Tuples())
+		for _, c := range sigmaClustering {
+			for _, row := range c {
+				used[row] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				rest = append(rest, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return finish(nil, err)
+	}
 
 	// Anonymize the remaining tuples with the off-the-shelf algorithm.
-	used := make(map[int]bool, sigmaClustering.Tuples())
-	for _, c := range sigmaClustering {
-		for _, row := range c {
-			used[row] = true
+	var restRel *relation.Relation
+	err = phase(trace.PhaseBaseline, func(c context.Context) error {
+		parts, err := opts.Anonymizer.Partition(c, rel, rest, opts.K)
+		if err != nil {
+			return fmt.Errorf("diva: anonymizing %d remaining tuples: %w", len(rest), err)
 		}
-	}
-	var rest []int
-	for i := 0; i < n; i++ {
-		if !used[i] {
-			rest = append(rest, i)
-		}
-	}
-	parts, err := opts.Anonymizer.Partition(rel, rest, opts.K)
+		restRel = SuppressGeneralize(rel, parts, opts.Hierarchies)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("diva: anonymizing %d remaining tuples: %w", len(rest), err)
+		return finish(nil, err)
 	}
-	restRel := SuppressGeneralize(rel, parts, opts.Hierarchies)
 
 	// Integrate: repair upper bounds that Rk pushed over.
-	repaired, err := integrate(diverse, restRel, bounds, schema)
+	var repaired int
+	err = phase(trace.PhaseIntegrate, func(context.Context) error {
+		var err error
+		repaired, err = integrate(diverse, restRel, bounds, schema)
+		return err
+	})
 	if err != nil {
-		return nil, err
+		return finish(nil, err)
 	}
 
-	output := diverse.Clone()
-	output.AppendRowsFrom(restRel, allRows(restRel))
-	if opts.Criterion != nil {
-		if ok, group := privacy.Satisfies(output, opts.Criterion); !ok {
-			return nil, fmt.Errorf("diva: output QI-group of %d tuples violates %s: %w", len(group), opts.Criterion.Name(), ErrNoDiverseClustering)
+	var output *relation.Relation
+	err = phase(trace.PhaseVerify, func(context.Context) error {
+		output = diverse.Clone()
+		output.AppendRowsFrom(restRel, allRows(restRel))
+		if opts.Criterion != nil {
+			if ok, group := privacy.Satisfies(output, opts.Criterion); !ok {
+				return fmt.Errorf("diva: output QI-group of %d tuples violates %s: %w", len(group), opts.Criterion.Name(), ErrNoDiverseClustering)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return finish(nil, err)
 	}
-	return &Result{
+	return finish(&Result{
 		Output:        output,
 		Diverse:       diverse,
 		Rest:          restRel,
 		Clustering:    sigmaClustering,
-		Stats:         stats,
 		RepairedCells: repaired,
-	}, nil
+	}, nil)
 }
 
 // Suppress is Algorithm 2: for every cluster, every QI attribute on which
@@ -253,13 +382,45 @@ func Suppress(rel *relation.Relation, clusters [][]int) *relation.Relation {
 
 // RunBaseline anonymizes all of rel with a baseline partitioner and
 // suppression, without diversity constraints. It is the comparison path for
-// the paper's §4.2 study.
-func RunBaseline(rel *relation.Relation, p anon.Partitioner, k int) (*relation.Relation, error) {
-	parts, err := p.Partition(rel, allRows(rel), k)
+// the paper's §4.2 study. A nil ctx is treated as context.Background() and
+// a nil tr as trace.Nop; cancellation is honored at the partitioner's
+// split granularity and reported as ErrCanceled wrapping the context's
+// error.
+func RunBaseline(ctx context.Context, rel *relation.Relation, p anon.Partitioner, k int, tr trace.Tracer) (*relation.Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if tr == nil {
+		tr = trace.Nop
+	}
+	phase := func(ph trace.Phase, f func(context.Context) error) error {
+		tr.Trace(trace.Event{Kind: trace.KindPhaseStart, Phase: ph})
+		pstart := time.Now()
+		var err error
+		pprof.Do(ctx, pprof.Labels("diva_phase", string(ph)), func(c context.Context) {
+			err = f(c)
+		})
+		tr.Trace(trace.Event{Kind: trace.KindPhaseEnd, Phase: ph, Elapsed: time.Since(pstart)})
+		return err
+	}
+	var parts [][]int
+	err := phase(trace.PhaseBaseline, func(c context.Context) error {
+		var err error
+		parts, err = p.Partition(c, rel, allRows(rel), k)
+		return err
+	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		return nil, err
 	}
-	return Suppress(rel, parts), nil
+	var out *relation.Relation
+	phase(trace.PhaseSuppress, func(context.Context) error {
+		out = Suppress(rel, parts)
+		return nil
+	})
+	return out, nil
 }
 
 // integrate verifies RΣ ∪ Rk against every constraint and repairs upper-

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"diva/internal/constraint"
@@ -35,7 +36,7 @@ func TestAnonymizeWithHierarchies(t *testing.T) {
 	hs["PRV"] = prv
 
 	run := func(hset hierarchy.Set) *core.Result {
-		res, err := core.Anonymize(rel, sigma, core.Options{
+		res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 			K:           2,
 			Strategy:    search.MaxFanOut,
 			Rng:         testRng(),

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand/v2"
 	"strconv"
 	"testing"
@@ -27,7 +28,7 @@ func baselineByName(t testing.TB, rel *relation.Relation, name string, k int) (*
 	default:
 		t.Fatalf("unknown baseline %q", name)
 	}
-	return core.RunBaseline(rel, p, k)
+	return core.RunBaseline(context.Background(), rel, p, k, nil)
 }
 
 // skewedRelation builds a relation where one value dominates, so that the
@@ -66,7 +67,7 @@ func TestIntegrateRepairsUpperBound(t *testing.T) {
 		t.Fatalf("test data skew broke: %d common", freq)
 	}
 	sigma := constraint.Set{constraint.New("GRP", "common", 10, 30)}
-	res, err := core.Anonymize(rel, sigma, core.Options{K: 5, Strategy: search.MinChoice, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 5, Strategy: search.MinChoice, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestIntegrateKeepsKAnonymityAfterRepair(t *testing.T) {
 	rel := skewedRelation(t, 300)
 	sigma := constraint.Set{constraint.New("GRP", "common", 10, 40)}
 	for _, k := range []int{3, 7, 12} {
-		res, err := core.Anonymize(rel, sigma, core.Options{K: k, Strategy: search.MaxFanOut, Rng: testRng()})
+		res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: k, Strategy: search.MaxFanOut, Rng: testRng()})
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -101,7 +102,7 @@ func TestIntegrateKeepsKAnonymityAfterRepair(t *testing.T) {
 // TestAnonymizeEmptyRelation: nothing to do, but nothing to fail either.
 func TestAnonymizeEmptyRelation(t *testing.T) {
 	rel := relation.New(paperRelation(t).Schema())
-	res, err := core.Anonymize(rel, nil, core.Options{K: 3, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, nil, core.Options{K: 3, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,10 +114,10 @@ func TestAnonymizeEmptyRelation(t *testing.T) {
 // TestAnonymizeRejectsBadK covers parameter validation.
 func TestAnonymizeRejectsBadK(t *testing.T) {
 	rel := paperRelation(t)
-	if _, err := core.Anonymize(rel, nil, core.Options{K: 0, Rng: testRng()}); err == nil {
+	if _, err := core.Anonymize(context.Background(), rel, nil, core.Options{K: 0, Rng: testRng()}); err == nil {
 		t.Fatal("k = 0 accepted")
 	}
-	if _, err := core.Anonymize(rel, nil, core.Options{K: 11, Rng: testRng()}); err == nil {
+	if _, err := core.Anonymize(context.Background(), rel, nil, core.Options{K: 11, Rng: testRng()}); err == nil {
 		t.Fatal("k > |R| accepted")
 	}
 }
@@ -125,11 +126,11 @@ func TestAnonymizeRejectsBadK(t *testing.T) {
 func TestAnonymizeRejectsInvalidConstraints(t *testing.T) {
 	rel := paperRelation(t)
 	bad := constraint.Set{constraint.New("ETH", "Asian", 5, 2)}
-	if _, err := core.Anonymize(rel, bad, core.Options{K: 2, Rng: testRng()}); err == nil {
+	if _, err := core.Anonymize(context.Background(), rel, bad, core.Options{K: 2, Rng: testRng()}); err == nil {
 		t.Fatal("inverted bounds accepted")
 	}
 	unknown := constraint.Set{constraint.New("NOPE", "x", 1, 2)}
-	if _, err := core.Anonymize(rel, unknown, core.Options{K: 2, Rng: testRng()}); err == nil {
+	if _, err := core.Anonymize(context.Background(), rel, unknown, core.Options{K: 2, Rng: testRng()}); err == nil {
 		t.Fatal("unknown attribute accepted")
 	}
 }
@@ -153,7 +154,7 @@ func TestAnonymizeRemainderSmallerThanK(t *testing.T) {
 	rel.MustAppendValues("u", "b0")
 	rel.MustAppendValues("u", "b1")
 	sigma := constraint.Set{constraint.New("A", "t", 4, 5)}
-	res, err := core.Anonymize(rel, sigma, core.Options{K: 4, Strategy: search.MinChoice, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 4, Strategy: search.MinChoice, Rng: testRng()})
 	if err != nil {
 		return // failing is acceptable; outputting a bad relation is not
 	}
@@ -207,7 +208,7 @@ func TestAnonymizeEndToEndProperty(t *testing.T) {
 			}
 		}
 		strat := []search.Strategy{search.Basic, search.MinChoice, search.MaxFanOut}[rng.IntN(3)]
-		res, err := core.Anonymize(rel, sigma, core.Options{K: k, Strategy: strat, Rng: rng})
+		res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: k, Strategy: strat, Rng: rng})
 		if err != nil {
 			// The random instance may genuinely be unsatisfiable (e.g. the
 			// Accept rule can't leave a legal remainder); that is a valid

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand/v2"
 	"strconv"
 	"testing"
@@ -46,7 +47,7 @@ func TestDIVAWithLDiversity(t *testing.T) {
 		constraint.New("ETH", "African", 4, 60),
 	}
 	crit := privacy.DistinctLDiversity{L: 3}
-	res, err := core.Anonymize(rel, sigma, core.Options{
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 		K:         4,
 		Strategy:  search.MaxFanOut,
 		Rng:       testRng(),
@@ -73,7 +74,7 @@ func TestDIVAWithLDiversityUnsatisfiable(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rel.MustAppendValues("x"+strconv.Itoa(i%3), "same")
 	}
-	_, err := core.Anonymize(rel, nil, core.Options{
+	_, err := core.Anonymize(context.Background(), rel, nil, core.Options{
 		K:         2,
 		Rng:       testRng(),
 		Criterion: privacy.DistinctLDiversity{L: 2},
@@ -86,7 +87,7 @@ func TestDIVAWithLDiversityUnsatisfiable(t *testing.T) {
 func TestKMemberWithLDiversity(t *testing.T) {
 	rel := diverseDiagRelation(t, 90)
 	km := &anon.KMember{Rng: testRng(), Criterion: privacy.DistinctLDiversity{L: 3}}
-	out, err := core.RunBaseline(rel, km, 4)
+	out, err := core.RunBaseline(context.Background(), rel, km, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestKMemberRejectsNonMonotoneCriterion(t *testing.T) {
 	for i := range rows {
 		rows[i] = i
 	}
-	if _, err := km.Partition(rel, rows, 3); err == nil {
+	if _, err := km.Partition(context.Background(), rel, rows, 3); err == nil {
 		t.Fatal("k-member accepted a non-monotone criterion")
 	}
 }
@@ -114,7 +115,7 @@ func TestMondrianWithTCloseness(t *testing.T) {
 	rel := diverseDiagRelation(t, 120)
 	crit := privacy.NewTCloseness(rel, 0.45)
 	m := &anon.Mondrian{Criterion: crit}
-	out, err := core.RunBaseline(rel, m, 4)
+	out, err := core.RunBaseline(context.Background(), rel, m, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestPublicLDiversityOption(t *testing.T) {
 	rel := diverseDiagRelation(t, 80)
 	// Exercised through the core driver to keep this package free of the
 	// public façade; the façade's own test lives in the root package.
-	res, err := core.Anonymize(rel, nil, core.Options{
+	res, err := core.Anonymize(context.Background(), rel, nil, core.Options{
 		K:         4,
 		Rng:       testRng(),
 		Criterion: privacy.DistinctLDiversity{L: 2},

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestMultiAttributeConstraint(t *testing.T) {
 	sigma := constraint.Set{
 		constraint.NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 2, 2),
 	}
-	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestMixedQISensitiveTarget(t *testing.T) {
 	sigma := constraint.Set{
 		constraint.NewMulti([]string{"ETH", "DIAG"}, []string{"Asian", "Seizure"}, 1, 1),
 	}
-	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestMixedTargetUpperBoundRepair(t *testing.T) {
 	sigma := constraint.Set{
 		constraint.NewMulti([]string{"ETH", "DIAG"}, []string{"African", "Hypertension"}, 0, 0),
 	}
-	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestConflictingMultiAttrConstraints(t *testing.T) {
 		constraint.NewMulti([]string{"ETH", "CTY"}, []string{"Asian", "Vancouver"}, 2, 2),
 		constraint.New("CTY", "Vancouver", 0, 1), // at most one Vancouver visible
 	}
-	_, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	_, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
 	if !errors.Is(err, core.ErrNoDiverseClustering) {
 		t.Fatalf("err = %v, want ErrNoDiverseClustering", err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestPaperExample(t *testing.T) {
 		t.Run(strat.String(), func(t *testing.T) {
 			rel := paperRelation(t)
 			sigma := paperSigma()
-			res, err := core.Anonymize(rel, sigma, core.Options{
+			res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
 				K:        2,
 				Strategy: strat,
 				Rng:      testRng(),
@@ -93,7 +94,7 @@ func TestPaperExample(t *testing.T) {
 func TestPaperExampleDiverseClusteringShape(t *testing.T) {
 	rel := paperRelation(t)
 	sigma := paperSigma()
-	res, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestPaperTable2Shape(t *testing.T) {
 	rel := paperRelation(t)
 
 	// Plain k-member 3-anonymization (what Table 2 shows).
-	res, err := core.Anonymize(rel, nil, core.Options{K: 3, Strategy: search.MinChoice, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, nil, core.Options{K: 3, Strategy: search.MinChoice, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestPaperTable2Shape(t *testing.T) {
 
 	// DIVA with an African-preserving constraint at k = 2 keeps it.
 	sigma := constraint.Set{constraint.New("ETH", "African", 2, 2)}
-	res2, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
+	res2, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MaxFanOut, Rng: testRng()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestPaperTable2Shape(t *testing.T) {
 func TestUnsatisfiable(t *testing.T) {
 	rel := paperRelation(t)
 	sigma := constraint.Set{constraint.New("ETH", "Asian", 7, 10)}
-	_, err := core.Anonymize(rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	_, err := core.Anonymize(context.Background(), rel, sigma, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
 	if !errors.Is(err, core.ErrNoDiverseClustering) {
 		t.Fatalf("err = %v, want ErrNoDiverseClustering", err)
 	}
@@ -161,7 +162,7 @@ func TestSensitiveOnlyConstraint(t *testing.T) {
 	rel := paperRelation(t)
 
 	ok := constraint.Set{constraint.New("DIAG", "Hypertension", 2, 5)} // 3 occurrences
-	res, err := core.Anonymize(rel, ok, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
+	res, err := core.Anonymize(context.Background(), rel, ok, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()})
 	if err != nil {
 		t.Fatalf("satisfiable sensitive constraint rejected: %v", err)
 	}
@@ -170,7 +171,7 @@ func TestSensitiveOnlyConstraint(t *testing.T) {
 	}
 
 	bad := constraint.Set{constraint.New("DIAG", "Hypertension", 1, 2)} // 3 occurrences > 2
-	if _, err := core.Anonymize(rel, bad, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()}); !errors.Is(err, core.ErrNoDiverseClustering) {
+	if _, err := core.Anonymize(context.Background(), rel, bad, core.Options{K: 2, Strategy: search.MinChoice, Rng: testRng()}); !errors.Is(err, core.ErrNoDiverseClustering) {
 		t.Fatalf("err = %v, want ErrNoDiverseClustering", err)
 	}
 }

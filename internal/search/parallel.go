@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"diva/internal/cluster"
+	"diva/internal/trace"
 )
 
 // ColorPortfolio runs several coloring searches concurrently — a portfolio
@@ -21,14 +22,25 @@ import (
 // reachable, but which worker wins a close race may vary; every returned
 // coloring satisfies the same invariants as Color's. The reported Stats
 // are the winning worker's.
+//
+// Cancellation: opts.Ctx aborts every worker at step granularity; when the
+// portfolio ends without a coloring and the context is canceled, the
+// returned Stats carry the context's error in Stats.Err.
+//
+// Tracing: workers run with per-step events suppressed (their interleaving
+// is nondeterministic); opts.Tracer receives only the KindWorkerWin event
+// identifying the winning worker and its strategy.
 func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.Clustering, Stats, bool) {
 	if workers <= 0 {
 		workers = 3
 	}
+	tr := opts.Tracer
+	opts.Tracer = nil // workers run silent; only the coordinator emits
 	type outcome struct {
-		sigma cluster.Clustering
-		stats Stats
-		found bool
+		sigma  cluster.Clustering
+		stats  Stats
+		worker int
+		strat  Strategy
 	}
 	var (
 		stop    atomic.Bool
@@ -53,14 +65,21 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 			mu.Lock()
 			defer mu.Unlock()
 			if best == nil {
-				best = &outcome{sigma: sigma, stats: stats, found: true}
+				best = &outcome{sigma: sigma, stats: stats, worker: w, strat: wopts.Strategy}
 				stop.Store(true)
 			}
 		}()
 	}
 	wg.Wait()
 	if best == nil {
-		return nil, Stats{}, false
+		var stats Stats
+		if opts.Ctx != nil {
+			stats.Err = opts.Ctx.Err() // nil unless canceled
+		}
+		return nil, stats, false
+	}
+	if tr != nil {
+		tr.Trace(trace.Event{Kind: trace.KindWorkerWin, N: best.worker, Strategy: best.strat.String()})
 	}
 	return best.sigma, best.stats, true
 }

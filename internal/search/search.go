@@ -14,6 +14,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"diva/internal/cluster"
 	"diva/internal/constraint"
 	"diva/internal/relation"
+	"diva/internal/trace"
 )
 
 // Strategy selects the next uncolored node during the search.
@@ -133,6 +135,16 @@ type Stats struct {
 	Backtracks int
 	// CandidatesTried counts consistency checks of candidate clusterings.
 	CandidatesTried int
+	// CacheHits and CacheMisses report the per-generation candidate cache:
+	// a hit serves a node's raw candidate list without re-enumerating it
+	// (MinChoice probes every uncolored node before picking one, so the
+	// chosen node's candidates are typically served from cache).
+	CacheHits   int
+	CacheMisses int
+	// Err records why an unsuccessful search stopped early: the context's
+	// error on cancellation or deadline expiry, nil when the search space
+	// was exhausted, the step budget ran out, or a coloring was found.
+	Err error
 }
 
 // Options configures the coloring search.
@@ -151,6 +163,13 @@ type Options struct {
 	// uses it to avoid leaving a remainder of fewer than k tuples for the
 	// off-the-shelf anonymizer.
 	Accept func(usedRows int) bool
+	// Ctx, when non-nil, cancels the search at step granularity: a canceled
+	// or expired context aborts with Stats.Err set to the context's error.
+	Ctx context.Context
+	// Tracer, when non-nil, receives per-node assign/backtrack,
+	// candidate-enumeration and cache-hit events. ColorPortfolio suppresses
+	// it for its workers and emits only the worker-win event.
+	Tracer trace.Tracer
 	// cancel, when non-nil and set, aborts the search; used by
 	// ColorPortfolio to stop losing workers.
 	cancel *atomic.Bool
@@ -164,13 +183,17 @@ func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, foun
 		opts.MaxSteps = 1_000_000
 	}
 	st := &state{
-		g:        g,
-		assigned: make([]cluster.Clustering, len(g.Nodes)),
-		colored:  make([]bool, len(g.Nodes)),
-		rowOwner: make(map[int]string),
-		active:   make(map[string]*activeCluster),
-		preserve: make([]int, len(g.Nodes)),
-		opts:     opts,
+		g:         g,
+		assigned:  make([]cluster.Clustering, len(g.Nodes)),
+		colored:   make([]bool, len(g.Nodes)),
+		rowOwner:  make(map[int]string),
+		active:    make(map[string]*activeCluster),
+		preserve:  make([]int, len(g.Nodes)),
+		candCache: make(map[int]cachedCandidates, len(g.Nodes)),
+		opts:      opts,
+	}
+	if opts.Ctx != nil {
+		st.done = opts.Ctx.Done()
 	}
 	ok := st.color()
 	stats = st.stats
@@ -212,9 +235,66 @@ type state struct {
 	// preserve[j] is the number of occurrences of constraint j's target
 	// preserved by the distinct active clusters.
 	preserve []int
-	opts     Options
-	stats    Stats
-	aborted  bool
+	// candCache memoizes each node's raw candidate enumeration for the
+	// current assignment generation: MinChoice probes every uncolored node
+	// and candidatesFor then re-enumerates the chosen one, so without the
+	// cache the hottest enumeration runs twice per step. candGen increments
+	// whenever the set of used rows changes, invalidating all entries.
+	candCache map[int]cachedCandidates
+	candGen   int
+	// done is the context's cancellation channel (nil when no context).
+	done    <-chan struct{}
+	opts    Options
+	stats   Stats
+	aborted bool
+}
+
+// cachedCandidates is one node's raw enumeration, valid while gen matches
+// the state's current generation.
+type cachedCandidates struct {
+	gen   int
+	cands []cluster.Clustering
+}
+
+// canceled polls the portfolio stop flag and the context; it latches into
+// aborted so an interrupted search unwinds without further work.
+func (st *state) canceled() bool {
+	if st.aborted {
+		return true
+	}
+	if st.opts.cancel != nil && st.opts.cancel.Load() {
+		st.aborted = true
+		return true
+	}
+	if st.done != nil {
+		select {
+		case <-st.done:
+			st.aborted = true
+			st.stats.Err = st.opts.Ctx.Err()
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// rawCandidates returns node v's candidate enumeration against the current
+// used-row set, served from the per-generation cache when possible.
+func (st *state) rawCandidates(v int) []cluster.Clustering {
+	if e, ok := st.candCache[v]; ok && e.gen == st.candGen {
+		st.stats.CacheHits++
+		if st.opts.Tracer != nil {
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCacheHit, Node: v, N: len(e.cands)})
+		}
+		return e.cands
+	}
+	cands := st.g.Nodes[v].Enum.Candidates(st.opts.Ctx, st.isUsed)
+	st.candCache[v] = cachedCandidates{gen: st.candGen, cands: cands}
+	st.stats.CacheMisses++
+	if st.opts.Tracer != nil {
+		st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCandidates, Node: v, N: len(cands)})
+	}
+	return cands
 }
 
 func (st *state) isUsed(row int) bool {
@@ -231,7 +311,7 @@ func (st *state) isUsed(row int) bool {
 func (st *state) candidatesFor(v int) []cluster.Clustering {
 	node := st.g.Nodes[v]
 	out := st.sharedCandidates(node)
-	for _, cand := range node.Enum.Candidates(st.isUsed) {
+	for _, cand := range st.rawCandidates(v) {
 		st.stats.CandidatesTried++
 		if st.isConsistent(cand) {
 			out = append(out, cand)
@@ -293,8 +373,7 @@ func (st *state) color() bool {
 		// enforced on every assignment.
 		return st.opts.Accept == nil || st.opts.Accept(len(st.rowOwner))
 	}
-	if st.aborted || (st.opts.cancel != nil && st.opts.cancel.Load()) {
-		st.aborted = true
+	if st.canceled() {
 		return false
 	}
 	v := st.nextNode()
@@ -304,12 +383,21 @@ func (st *state) color() bool {
 			st.aborted = true
 			return false
 		}
+		if st.canceled() {
+			return false
+		}
 		st.assign(v, cand)
+		if st.opts.Tracer != nil {
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindAssign, Node: v})
+		}
 		if st.color() {
 			return true
 		}
 		st.unassign(v, cand)
 		st.stats.Backtracks++
+		if st.opts.Tracer != nil {
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindBacktrack, Node: v})
+		}
 		if st.aborted {
 			return false
 		}
@@ -322,11 +410,11 @@ func (st *state) nextNode() int {
 	switch st.opts.Strategy {
 	case MinChoice:
 		best, bestCount := -1, -1
-		for i, node := range st.g.Nodes {
+		for i := range st.g.Nodes {
 			if st.colored[i] {
 				continue
 			}
-			count := len(node.Enum.Candidates(st.isUsed))
+			count := len(st.rawCandidates(i))
 			if best == -1 || count < bestCount {
 				best, bestCount = i, count
 			}
@@ -402,6 +490,7 @@ func (st *state) assign(v int, cand cluster.Clustering) {
 	st.assigned[v] = cand
 	st.colored[v] = true
 	st.nColored++
+	st.candGen++ // the used-row set changes: all cached enumerations stale
 	for _, c := range cand {
 		key := cluster.ClusterKey(c)
 		if ac, ok := st.active[key]; ok {
@@ -422,6 +511,7 @@ func (st *state) unassign(v int, cand cluster.Clustering) {
 	st.assigned[v] = nil
 	st.colored[v] = false
 	st.nColored--
+	st.candGen++
 	for _, c := range cand {
 		key := cluster.ClusterKey(c)
 		ac := st.active[key]

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"expvar"
+	"strconv"
+)
+
+// Process-wide run counters, published under the standard expvar endpoint
+// (/debug/vars when expvar's handler is mounted). Every core.Anonymize call
+// folds its RunMetrics in via RecordGlobal, so a long-running service can
+// watch cumulative phase time, search effort and cancellation rates without
+// per-run plumbing.
+var (
+	gRuns       = expvar.NewInt("diva.runs")
+	gErrors     = expvar.NewInt("diva.errors")
+	gCanceled   = expvar.NewInt("diva.canceled")
+	gSteps      = expvar.NewInt("diva.steps")
+	gBacktracks = expvar.NewInt("diva.backtracks")
+	gPhaseNanos = expvar.NewMap("diva.phase_nanos")
+)
+
+// RecordGlobal folds one finished run into the process-wide registry.
+// err is the run's outcome (nil on success); m may be nil for runs that
+// failed before any metrics existed.
+func RecordGlobal(m *RunMetrics, err error) {
+	gRuns.Add(1)
+	if err != nil {
+		gErrors.Add(1)
+	}
+	if m == nil {
+		return
+	}
+	if m.Canceled {
+		gCanceled.Add(1)
+	}
+	gSteps.Add(int64(m.Steps))
+	gBacktracks.Add(int64(m.Backtracks))
+	for _, pt := range m.Phases {
+		gPhaseNanos.Add(string(pt.Phase), int64(pt.Duration))
+	}
+}
+
+// Totals is a point-in-time copy of the process-wide registry. Subtracting
+// two Totals brackets a workload (cmd/divabench uses this to attribute phase
+// time to each experiment).
+type Totals struct {
+	Runs, Errors, Canceled int64
+	Steps, Backtracks      int64
+	PhaseNanos             map[Phase]int64
+}
+
+// GlobalTotals snapshots the process-wide registry.
+func GlobalTotals() Totals {
+	t := Totals{
+		Runs:       gRuns.Value(),
+		Errors:     gErrors.Value(),
+		Canceled:   gCanceled.Value(),
+		Steps:      gSteps.Value(),
+		Backtracks: gBacktracks.Value(),
+		PhaseNanos: make(map[Phase]int64),
+	}
+	gPhaseNanos.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			t.PhaseNanos[Phase(kv.Key)] = v.Value()
+		}
+	})
+	return t
+}
+
+// PhaseSecondsSince returns the per-phase seconds accumulated between an
+// earlier snapshot and now.
+func PhaseSecondsSince(before Totals) map[Phase]float64 {
+	after := GlobalTotals()
+	out := make(map[Phase]float64)
+	for ph, ns := range after.PhaseNanos {
+		if d := ns - before.PhaseNanos[ph]; d > 0 {
+			out[ph] = float64(d) / 1e9
+		}
+	}
+	return out
+}
+
+// String renders the totals compactly (used by cmd/diva's metrics dump).
+func (t Totals) String() string {
+	s := "runs=" + strconv.FormatInt(t.Runs, 10) +
+		" errors=" + strconv.FormatInt(t.Errors, 10) +
+		" canceled=" + strconv.FormatInt(t.Canceled, 10) +
+		" steps=" + strconv.FormatInt(t.Steps, 10) +
+		" backtracks=" + strconv.FormatInt(t.Backtracks, 10)
+	return s
+}

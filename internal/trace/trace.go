@@ -1,0 +1,357 @@
+// Package trace is the observability layer of the DIVA engine: typed run
+// events (phase boundaries, per-node search activity, portfolio outcomes), a
+// Tracer interface callers implement to watch a run live, a Recorder that
+// aggregates events into per-run RunMetrics, and a process-wide expvar
+// registry (expvar.go) that accumulates totals across runs.
+//
+// The paper's evaluation shows DIVA's runtime is dominated by the clustering
+// and coloring phases and varies by orders of magnitude with the conflict
+// rate of the constraint workload; this package makes that variance visible:
+// every core.Anonymize run is decomposed into the phases Bind, BuildGraph,
+// Color, Suppress, Baseline, Integrate and Verify, each timed and labeled in
+// CPU profiles via runtime/pprof labels.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names one stage of a DIVA run. Phases follow Algorithm 1 of the
+// paper: bind the constraints, build the constraint graph, color it, suppress
+// the diverse clustering, anonymize the remainder with the baseline,
+// integrate (repair upper bounds), and verify the output criterion.
+type Phase string
+
+// The phases of core.Anonymize, in execution order.
+const (
+	PhaseBind       Phase = "bind"
+	PhaseBuildGraph Phase = "build-graph"
+	PhaseColor      Phase = "color"
+	PhaseSuppress   Phase = "suppress"
+	PhaseBaseline   Phase = "baseline"
+	PhaseIntegrate  Phase = "integrate"
+	PhaseVerify     Phase = "verify"
+)
+
+// Phases lists every phase in execution order.
+func Phases() []Phase {
+	return []Phase{PhaseBind, PhaseBuildGraph, PhaseColor, PhaseSuppress, PhaseBaseline, PhaseIntegrate, PhaseVerify}
+}
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// KindPhaseStart marks entry into Event.Phase.
+	KindPhaseStart EventKind = iota + 1
+	// KindPhaseEnd marks completion of Event.Phase; Event.Elapsed holds its
+	// wall time.
+	KindPhaseEnd
+	// KindAssign reports a color assignment to constraint-graph node
+	// Event.Node during the coloring search.
+	KindAssign
+	// KindBacktrack reports a retracted assignment from node Event.Node.
+	KindBacktrack
+	// KindCandidates reports a fresh candidate enumeration for node
+	// Event.Node producing Event.N clusterings.
+	KindCandidates
+	// KindCacheHit reports that node Event.Node's candidates were served
+	// from the search's per-generation candidate cache (Event.N clusterings).
+	KindCacheHit
+	// KindWorkerWin reports that portfolio worker Event.N, running strategy
+	// Event.Strategy, produced the winning coloring.
+	KindWorkerWin
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindPhaseStart:
+		return "phase-start"
+	case KindPhaseEnd:
+		return "phase-end"
+	case KindAssign:
+		return "assign"
+	case KindBacktrack:
+		return "backtrack"
+	case KindCandidates:
+		return "candidates"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindWorkerWin:
+		return "worker-win"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one typed observation from a DIVA run. Which fields are
+// meaningful depends on Kind; unused fields are zero.
+type Event struct {
+	Kind EventKind
+	// Phase is set for KindPhaseStart and KindPhaseEnd.
+	Phase Phase
+	// Elapsed is the phase wall time, set for KindPhaseEnd.
+	Elapsed time.Duration
+	// Node is the constraint-graph node index for KindAssign, KindBacktrack,
+	// KindCandidates and KindCacheHit.
+	Node int
+	// N is a kind-specific count: candidates enumerated, or the winning
+	// worker index for KindWorkerWin.
+	N int
+	// Strategy is the winning worker's strategy name for KindWorkerWin.
+	Strategy string
+}
+
+// Tracer observes run events. Implementations used with sequential runs are
+// called from a single goroutine; the engine never calls a caller-supplied
+// Tracer concurrently (portfolio workers run silent and only the coordinator
+// emits), so implementations need not be goroutine-safe unless shared across
+// separate Anonymize calls.
+type Tracer interface {
+	Trace(Event)
+}
+
+type nopTracer struct{}
+
+func (nopTracer) Trace(Event) {}
+
+// Nop is a Tracer that discards every event.
+var Nop Tracer = nopTracer{}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// Tee fans events out to every non-nil tracer. It returns Nop when none
+// remain and the tracer itself when exactly one does.
+func Tee(tracers ...Tracer) Tracer {
+	var live multiTracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// PhaseTiming is one completed phase and its wall time.
+type PhaseTiming struct {
+	Phase    Phase         `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// RunMetrics aggregates one DIVA run: per-phase wall times in completion
+// order, the coloring search effort, candidate-cache effectiveness, and the
+// portfolio outcome. It is attached to core.Result on success and on the
+// ErrNoDiverseClustering and ErrCanceled paths alike, so failed and canceled
+// runs still report where their time went.
+type RunMetrics struct {
+	// Total is the wall time of the whole run.
+	Total time.Duration `json:"total_ns"`
+	// Phases holds completed phases in completion order. A canceled run
+	// contains only the phases that finished before the cancellation.
+	Phases []PhaseTiming `json:"phases"`
+	// Steps, Backtracks and CandidatesTried mirror search.Stats for the
+	// coloring phase (the winning worker's in portfolio mode).
+	Steps           int `json:"steps"`
+	Backtracks      int `json:"backtracks"`
+	CandidatesTried int `json:"candidates_tried"`
+	// CandidateCacheHits and CandidateCacheMisses report the search's
+	// per-generation candidate cache effectiveness.
+	CandidateCacheHits   int `json:"candidate_cache_hits"`
+	CandidateCacheMisses int `json:"candidate_cache_misses"`
+	// NodeAssigns and NodeBacktracks count per-node search activity, keyed
+	// by constraint-graph node index (empty in portfolio mode, where worker
+	// events are suppressed).
+	NodeAssigns    map[int]int `json:"node_assigns,omitempty"`
+	NodeBacktracks map[int]int `json:"node_backtracks,omitempty"`
+	// PortfolioWorkers is the number of concurrent searches (0 = sequential).
+	PortfolioWorkers int `json:"portfolio_workers,omitempty"`
+	// WinnerWorker and WinnerStrategy identify the portfolio winner;
+	// WinnerStrategy is empty for sequential runs.
+	WinnerWorker   int    `json:"winner_worker,omitempty"`
+	WinnerStrategy string `json:"winner_strategy,omitempty"`
+	// Canceled reports that the run ended with ErrCanceled (context
+	// cancellation or deadline expiry).
+	Canceled bool `json:"canceled"`
+}
+
+// PhaseDuration sums the wall time recorded for ph (a phase may appear once
+// per run; summing keeps the accessor total under repeated phases).
+func (m *RunMetrics) PhaseDuration(ph Phase) time.Duration {
+	var d time.Duration
+	for _, pt := range m.Phases {
+		if pt.Phase == ph {
+			d += pt.Duration
+		}
+	}
+	return d
+}
+
+// PhasesTotal sums all recorded phase wall times; it is within instrumentation
+// overhead of Total on a run that completed every phase.
+func (m *RunMetrics) PhasesTotal() time.Duration {
+	var d time.Duration
+	for _, pt := range m.Phases {
+		d += pt.Duration
+	}
+	return d
+}
+
+// String renders a one-line summary.
+func (m *RunMetrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total %v", m.Total)
+	for _, pt := range m.Phases {
+		fmt.Fprintf(&b, " %s=%v", pt.Phase, pt.Duration)
+	}
+	fmt.Fprintf(&b, " steps=%d backtracks=%d", m.Steps, m.Backtracks)
+	if m.WinnerStrategy != "" {
+		fmt.Fprintf(&b, " winner=%s(worker %d)", m.WinnerStrategy, m.WinnerWorker)
+	}
+	if m.Canceled {
+		b.WriteString(" canceled")
+	}
+	return b.String()
+}
+
+// Recorder is a goroutine-safe Tracer that aggregates events into
+// RunMetrics. The engine attaches one to every run; callers may also use it
+// directly as Options.Tracer to collect metrics without implementing Tracer.
+type Recorder struct {
+	mu sync.Mutex
+	m  RunMetrics
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch ev.Kind {
+	case KindPhaseEnd:
+		r.m.Phases = append(r.m.Phases, PhaseTiming{Phase: ev.Phase, Duration: ev.Elapsed})
+	case KindAssign:
+		if r.m.NodeAssigns == nil {
+			r.m.NodeAssigns = make(map[int]int)
+		}
+		r.m.NodeAssigns[ev.Node]++
+	case KindBacktrack:
+		if r.m.NodeBacktracks == nil {
+			r.m.NodeBacktracks = make(map[int]int)
+		}
+		r.m.NodeBacktracks[ev.Node]++
+	case KindWorkerWin:
+		r.m.WinnerWorker = ev.N
+		r.m.WinnerStrategy = ev.Strategy
+	}
+}
+
+// Snapshot returns a copy of the metrics aggregated so far. Map and slice
+// fields are deep-copied, so the snapshot is safe to retain.
+func (r *Recorder) Snapshot() *RunMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.m
+	m.Phases = append([]PhaseTiming(nil), r.m.Phases...)
+	m.NodeAssigns = copyCounts(r.m.NodeAssigns)
+	m.NodeBacktracks = copyCounts(r.m.NodeBacktracks)
+	return &m
+}
+
+func copyCounts(src map[int]int) map[int]int {
+	if src == nil {
+		return nil
+	}
+	dst := make(map[int]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// WriterTracer logs events as text lines, one per event. By default only
+// phase boundaries and portfolio outcomes are printed; Verbose additionally
+// prints per-node search events (very chatty on hard instances).
+type WriterTracer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	start   time.Time
+	Verbose bool
+}
+
+// NewWriter returns a WriterTracer logging to w. Timestamps are offsets from
+// the tracer's creation.
+func NewWriter(w io.Writer) *WriterTracer {
+	return &WriterTracer{w: w, start: time.Now()}
+}
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at := time.Since(t.start)
+	switch ev.Kind {
+	case KindPhaseStart:
+		fmt.Fprintf(t.w, "trace %10s  phase %-11s start\n", at.Round(time.Microsecond), ev.Phase)
+	case KindPhaseEnd:
+		fmt.Fprintf(t.w, "trace %10s  phase %-11s end   %v\n", at.Round(time.Microsecond), ev.Phase, ev.Elapsed.Round(time.Microsecond))
+	case KindWorkerWin:
+		fmt.Fprintf(t.w, "trace %10s  portfolio worker %d (%s) won\n", at.Round(time.Microsecond), ev.N, ev.Strategy)
+	default:
+		if !t.Verbose {
+			return
+		}
+		fmt.Fprintf(t.w, "trace %10s  %s node=%d n=%d\n", at.Round(time.Microsecond), ev.Kind, ev.Node, ev.N)
+	}
+}
+
+// FormatPhaseSeconds renders a phase→seconds map deterministically (phase
+// execution order first, unknown phases alphabetically last).
+func FormatPhaseSeconds(sec map[Phase]float64) string {
+	known := Phases()
+	rank := make(map[Phase]int, len(known))
+	for i, ph := range known {
+		rank[ph] = i + 1
+	}
+	keys := make([]Phase, 0, len(sec))
+	for ph := range sec {
+		keys = append(keys, ph)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, rj := rank[keys[i]], rank[keys[j]]
+		if ri != rj {
+			if ri == 0 {
+				return false
+			}
+			if rj == 0 {
+				return true
+			}
+			return ri < rj
+		}
+		return keys[i] < keys[j]
+	})
+	parts := make([]string, len(keys))
+	for i, ph := range keys {
+		parts[i] = fmt.Sprintf("%s=%.3fs", ph, sec[ph])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderAggregates(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(Event{Kind: KindPhaseStart, Phase: PhaseBind})
+	r.Trace(Event{Kind: KindPhaseEnd, Phase: PhaseBind, Elapsed: 2 * time.Millisecond})
+	r.Trace(Event{Kind: KindPhaseEnd, Phase: PhaseColor, Elapsed: 5 * time.Millisecond})
+	r.Trace(Event{Kind: KindAssign, Node: 1})
+	r.Trace(Event{Kind: KindAssign, Node: 1})
+	r.Trace(Event{Kind: KindBacktrack, Node: 1})
+	r.Trace(Event{Kind: KindWorkerWin, N: 2, Strategy: "MaxFanOut"})
+
+	m := r.Snapshot()
+	if len(m.Phases) != 2 || m.Phases[0].Phase != PhaseBind || m.Phases[1].Phase != PhaseColor {
+		t.Fatalf("Phases = %v", m.Phases)
+	}
+	if got := m.PhaseDuration(PhaseColor); got != 5*time.Millisecond {
+		t.Fatalf("PhaseDuration(color) = %v", got)
+	}
+	if got := m.PhasesTotal(); got != 7*time.Millisecond {
+		t.Fatalf("PhasesTotal = %v", got)
+	}
+	if m.NodeAssigns[1] != 2 || m.NodeBacktracks[1] != 1 {
+		t.Fatalf("node counters = %v / %v", m.NodeAssigns, m.NodeBacktracks)
+	}
+	if m.WinnerWorker != 2 || m.WinnerStrategy != "MaxFanOut" {
+		t.Fatalf("winner = %d %q", m.WinnerWorker, m.WinnerStrategy)
+	}
+
+	// The snapshot is detached from later mutation.
+	r.Trace(Event{Kind: KindAssign, Node: 1})
+	if m.NodeAssigns[1] != 2 {
+		t.Fatal("snapshot shares state with the recorder")
+	}
+	if s := m.String(); !strings.Contains(s, "winner=MaxFanOut") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if got := Tee(nil, nil); got != Nop {
+		t.Fatalf("Tee(nil, nil) = %T, want Nop", got)
+	}
+	r := NewRecorder()
+	if got := Tee(nil, r); got != Tracer(r) {
+		t.Fatalf("Tee(nil, r) = %T, want the recorder itself", got)
+	}
+	r2 := NewRecorder()
+	Tee(r, r2).Trace(Event{Kind: KindAssign, Node: 3})
+	if r.Snapshot().NodeAssigns[3] != 1 || r2.Snapshot().NodeAssigns[3] != 1 {
+		t.Fatal("Tee did not fan out")
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Trace(Event{Kind: KindPhaseStart, Phase: PhaseColor})
+	w.Trace(Event{Kind: KindAssign, Node: 7}) // suppressed: not verbose
+	w.Trace(Event{Kind: KindPhaseEnd, Phase: PhaseColor, Elapsed: time.Millisecond})
+	w.Trace(Event{Kind: KindWorkerWin, N: 1, Strategy: "Basic"})
+	out := b.String()
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("want 3 lines, got %q", out)
+	}
+	for _, want := range []string{"phase color", "start", "end", "worker 1 (Basic) won"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+	w.Verbose = true
+	w.Trace(Event{Kind: KindCacheHit, Node: 7, N: 4})
+	if !strings.Contains(b.String(), "cache-hit node=7 n=4") {
+		t.Fatalf("verbose output missing node event: %q", b.String())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{KindPhaseStart, KindPhaseEnd, KindAssign, KindBacktrack, KindCandidates, KindCacheHit, KindWorkerWin}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "EventKind(") || seen[s] {
+			t.Fatalf("bad or duplicate name %q for kind %d", s, k)
+		}
+		seen[s] = true
+	}
+	if s := EventKind(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown kind = %q", s)
+	}
+}
+
+func TestFormatPhaseSeconds(t *testing.T) {
+	got := FormatPhaseSeconds(map[Phase]float64{
+		PhaseVerify: 0.25,
+		PhaseBind:   1.5,
+		"custom":    0.125,
+		PhaseColor:  2,
+	})
+	want := "bind=1.500s color=2.000s verify=0.250s custom=0.125s"
+	if got != want {
+		t.Fatalf("FormatPhaseSeconds = %q, want %q", got, want)
+	}
+}
+
+func TestGlobalRegistry(t *testing.T) {
+	before := GlobalTotals()
+	RecordGlobal(&RunMetrics{
+		Steps:      10,
+		Backtracks: 3,
+		Canceled:   true,
+		Phases: []PhaseTiming{
+			{Phase: PhaseColor, Duration: 2 * time.Second},
+			{Phase: PhaseBind, Duration: time.Second},
+		},
+	}, errors.New("search budget exhausted"))
+	RecordGlobal(nil, nil) // run that failed before metrics existed
+
+	after := GlobalTotals()
+	if d := after.Runs - before.Runs; d != 2 {
+		t.Fatalf("runs delta = %d, want 2", d)
+	}
+	if d := after.Errors - before.Errors; d != 1 {
+		t.Fatalf("errors delta = %d, want 1", d)
+	}
+	if d := after.Canceled - before.Canceled; d != 1 {
+		t.Fatalf("canceled delta = %d, want 1", d)
+	}
+	if d := after.Steps - before.Steps; d != 10 {
+		t.Fatalf("steps delta = %d, want 10", d)
+	}
+	sec := PhaseSecondsSince(before)
+	if sec[PhaseColor] < 2 || sec[PhaseBind] < 1 {
+		t.Fatalf("PhaseSecondsSince = %v", sec)
+	}
+	if s := after.String(); !strings.Contains(s, "runs=") {
+		t.Fatalf("Totals.String() = %q", s)
+	}
+}
