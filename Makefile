@@ -1,15 +1,25 @@
 # Build and verification entry points. `make ci` is the gate every change
-# must pass: vet, build, the full test suite, and the race detector over
-# the concurrent paths (portfolio coloring, cancellation).
+# must pass: formatting, vet, build, the full test suite, and the race
+# detector over the concurrent paths (portfolio coloring, cancellation).
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# Benchmark snapshots for bench-compare (override on the command line).
+BENCH_OLD ?= /tmp/bench_old.txt
+BENCH_NEW ?= /tmp/bench_new.txt
+
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# fmt-check fails, listing the offenders, when any tracked Go file is not
+# gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -25,4 +35,24 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-ci: vet build test race
+# bench-color runs the allocation-sensitive coloring benchmarks (the
+# BenchmarkColor family at the root plus the search package's coloring
+# benchmarks) with enough repetitions for benchstat.
+bench-color:
+	$(GO) test -bench 'BenchmarkColorPhase' -count 5 -run '^$$' .
+	$(GO) test -bench 'BenchmarkColoring' -count 5 -run '^$$' ./internal/search/
+
+# bench-compare diffs two benchmark snapshots with benchstat:
+#
+#	make bench-color > old.txt   # on the baseline commit
+#	make bench-color > new.txt   # on the candidate
+#	make bench-compare BENCH_OLD=old.txt BENCH_NEW=new.txt
+#
+# benchstat (golang.org/x/perf/cmd/benchstat) must already be on PATH; the
+# target fails with instructions rather than installing anything.
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "benchstat not found; install golang.org/x/perf/cmd/benchstat"; exit 1; }
+	benchstat $(BENCH_OLD) $(BENCH_NEW)
+
+ci: fmt-check vet build test race

@@ -18,6 +18,7 @@ import (
 
 	"diva"
 	"diva/internal/anon"
+	"diva/internal/cluster"
 	"diva/internal/constraint"
 	"diva/internal/core"
 	"diva/internal/dataset"
@@ -94,6 +95,34 @@ func runBaselineBench(b *testing.B, rel *diva.Relation, p anon.Partitioner, k in
 		if i == 0 {
 			b.ReportMetric(metrics.Accuracy(out), "accuracy")
 		}
+	}
+}
+
+// BenchmarkColorPhase isolates the coloring search — graph build plus
+// Color — from the rest of the pipeline, so B/op and allocs/op reflect the
+// backtracking loop alone (the end-to-end benchmarks fold the suppression
+// and baseline phases into their allocation counts).
+func BenchmarkColorPhase(b *testing.B) {
+	rel := benchRelation(b, dataset.Census(), benchRows)
+	sigma := benchSigma(b, rel, 8, 10)
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []search.Strategy{search.Basic, search.MinChoice, search.MaxFanOut} {
+		b.Run(strat.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graph := search.BuildGraph(rel, bounds, cluster.Options{K: 10})
+				_, _, found := graph.Color(search.Options{
+					Strategy: strat,
+					Rng:      rand.New(rand.NewPCG(9, 7)),
+				})
+				if !found {
+					b.Fatal("no coloring")
+				}
+			}
+		})
 	}
 }
 

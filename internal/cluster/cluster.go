@@ -16,22 +16,27 @@
 //
 // The coloring search recomputes candidates as rows are claimed by other
 // constraints ("we update the candidate clusterings for their neighbors",
-// Section 3.3): Enumerator.Candidates takes the set of rows already in use
-// and enumerates over the remaining target rows only, so returned clusters
-// never collide with active ones.
+// Section 3.3): Enumerator.Candidates takes the bitset of rows already in
+// use and enumerates over the remaining target rows only, so returned
+// clusters never collide with active ones. Enumeration scratch buffers are
+// pooled and the returned clusterings are carved from per-call arenas, so
+// the search's hottest loop stays nearly allocation-free.
 package cluster
 
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"diva/internal/constraint"
 	"diva/internal/privacy"
 	"diva/internal/relation"
+	"diva/internal/rowset"
 )
 
 // Clustering is a set of disjoint clusters, each a sorted slice of row
-// indexes into the underlying relation.
+// indexes into the underlying relation — the sorted-slice view at the API
+// edge of the engine's bitset row-set core.
 type Clustering [][]int
 
 // Tuples returns the total number of tuples across all clusters.
@@ -53,15 +58,21 @@ func (s Clustering) Rows() []int {
 	return out
 }
 
-// ClusterKey returns a canonical identity string for one sorted cluster,
-// used for the "disjoint unless equal" consistency rule.
-func ClusterKey(c []int) string {
-	buf := make([]byte, 0, len(c)*4)
-	for _, i := range c {
-		buf = append(buf, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+// RowSet returns all row indexes across all clusters as a bitset over the
+// universe [0, n).
+func (s Clustering) RowSet(n int) *rowset.Set {
+	set := rowset.New(n)
+	for _, c := range s {
+		set.AddSlice(c)
 	}
-	return string(buf)
+	return set
 }
+
+// Fingerprint returns the canonical 64-bit identity of one sorted cluster,
+// used for the "disjoint unless equal" consistency rule and for SΣ
+// deduplication. It is the rowset Zobrist fingerprint: allocation-free,
+// equal for equal row sets, colliding with probability ~2⁻⁶⁴.
+func Fingerprint(c []int) uint64 { return rowset.Fingerprint(c) }
 
 // Options bounds the candidate enumeration.
 type Options struct {
@@ -131,17 +142,80 @@ func NewEnumerator(rel *relation.Relation, b *constraint.Bound, opts Options) *E
 // TargetSize returns |Iσ|.
 func (e *Enumerator) TargetSize() int { return len(e.sorted) }
 
-// Candidates enumerates candidate clusterings over the target rows for
-// which used returns false (used == nil means all target rows are
-// available), ordered by increasing suppression cost, then by fewer tuples.
-// The empty clustering is included (first) iff the constraint's lower bound
-// is zero. An empty result means no clustering within the enumeration
-// budget satisfies the constraint on the available rows.
+// scored is one enumerated candidate before materialization: a window
+// [lo1, hi1) and optionally a second disjoint window (hi2 == 0 means
+// single-cluster), with its suppression cost.
+type scored struct {
+	lo1, hi1 int
+	lo2, hi2 int
+	cost     int
+}
+
+type scoredWindow struct {
+	lo1, hi1 int
+	cost     int
+}
+
+// scratch holds one Candidates call's working buffers. Instances cycle
+// through a sync.Pool (enumerators are shared across portfolio workers), so
+// the steady-state enumeration allocates only its returned clusterings.
+// Nothing in a scratch may be referenced by the returned value.
+type scratch struct {
+	avail []int
+	fm    []int
+	chg   [][]int32
+	cands []scored
+	base  []scoredWindow
+	seen  map[[4]int]bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{seen: make(map[[4]int]bool, 64)} }}
+
+// resultArena carves the returned clusterings out of chunked backing arrays
+// so a full enumeration costs a handful of allocations instead of one per
+// cluster. Arenas are per call and owned by the result — never pooled.
+type resultArena struct {
+	ints     []int
+	clusters [][]int
+}
+
+func (a *resultArena) rows(n int) []int {
+	if len(a.ints) < n {
+		c := n
+		if c < 4096 {
+			c = 4096
+		}
+		a.ints = make([]int, c)
+	}
+	out := a.ints[:n:n]
+	a.ints = a.ints[n:]
+	return out
+}
+
+func (a *resultArena) clustering(n int) Clustering {
+	if len(a.clusters) < n {
+		c := n
+		if c < 256 {
+			c = 256
+		}
+		a.clusters = make([][]int, c)
+	}
+	out := a.clusters[:n:n]
+	a.clusters = a.clusters[n:]
+	return Clustering(out)
+}
+
+// Candidates enumerates candidate clusterings over the target rows not in
+// used (used == nil means all target rows are available), ordered by
+// increasing suppression cost, then by fewer tuples. The empty clustering
+// is included (first) iff the constraint's lower bound is zero. An empty
+// result means no clustering within the enumeration budget satisfies the
+// constraint on the available rows.
 //
 // ctx bounds the enumeration: when it is canceled, Candidates returns early
 // with whatever was enumerated so far (the coloring search re-checks the
 // context at its next step and aborts the run). A nil ctx never cancels.
-func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []Clustering {
+func (e *Enumerator) Candidates(ctx context.Context, used *rowset.Set) []Clustering {
 	var out []Clustering
 	if e.b.Lower == 0 {
 		out = append(out, Clustering{})
@@ -163,14 +237,18 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 		}
 	}
 
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
 	avail := e.sorted
 	if used != nil {
-		avail = make([]int, 0, len(e.sorted))
+		sc.avail = sc.avail[:0]
 		for _, row := range e.sorted {
-			if !used(row) {
-				avail = append(avail, row)
+			if !used.Contains(row) {
+				sc.avail = append(sc.avail, row)
 			}
 		}
+		avail = sc.avail
 	}
 
 	m := len(avail)
@@ -179,7 +257,11 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 	// complete target (QI and sensitive components). A window [lo, hi)
 	// preserves fm[hi] − fm[lo] occurrences. For targets without sensitive
 	// components every pool row matches and preserved == window size.
-	fm := make([]int, m+1)
+	if cap(sc.fm) < m+1 {
+		sc.fm = make([]int, m+1)
+	}
+	fm := sc.fm[:m+1]
+	fm[0] = 0
 	for i, row := range avail {
 		fm[i+1] = fm[i]
 		if e.b.Matches(e.rel.Row(row)) {
@@ -211,9 +293,19 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 	// avail[j] and avail[j-1] differ on QI attribute a. A window [lo, hi)
 	// is uniform on a iff chg[a][hi-1] == chg[a][lo]. This makes window
 	// suppression costs O(|QI|) each after an O(m·|QI|) scan.
-	chg := make([][]int32, len(e.qi))
+	if cap(sc.chg) < len(e.qi) {
+		sc.chg = make([][]int32, len(e.qi))
+	}
+	chg := sc.chg[:len(e.qi)]
 	for ai, a := range e.qi {
-		col := make([]int32, m)
+		col := chg[ai]
+		if cap(col) < m {
+			col = make([]int32, m)
+		}
+		col = col[:m]
+		if m > 0 {
+			col[0] = 0
+		}
 		for i := 1; i < m; i++ {
 			col[i] = col[i-1]
 			if e.rel.Code(avail[i], a) != e.rel.Code(avail[i-1], a) {
@@ -222,6 +314,7 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 		}
 		chg[ai] = col
 	}
+	sc.chg = chg[:len(e.qi)]
 	// cost of window [lo, hi): per non-uniform QI attribute the whole
 	// cluster loses that column.
 	cost := func(lo, hi int) int {
@@ -235,12 +328,8 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 		return c
 	}
 
-	type scored struct {
-		lo1, hi1 int
-		lo2, hi2 int // second window; hi2 == 0 means single-cluster
-		cost     int
-	}
-	var cands []scored
+	cands := sc.cands[:0]
+	defer func() { sc.cands = cands[:0] }()
 	rawBudget := e.opts.MaxCandidates * 4
 
 	// Single-cluster windows, smallest (most minimal) sizes first.
@@ -307,7 +396,7 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 	// matter when splitting one large cluster into two tighter ones reduces
 	// suppression and give the search more options under conflicts.
 	if maxSize >= 2*e.opts.K && m >= 2*e.opts.K {
-		base := e.baseWindows(m, cost)
+		base := e.baseWindows(sc, m, cost)
 		budget := e.opts.MaxCandidates
 	pairing:
 		for i := 0; i < len(base); i++ {
@@ -345,16 +434,32 @@ func (e *Enumerator) Candidates(ctx context.Context, used func(row int) bool) []
 		return sx < sy
 	})
 
-	seen := make(map[[4]int]bool, len(cands))
+	// Materialize the winners into per-call arenas. The returned clusterings
+	// are retained by the search's candidate cache, so the arenas are owned
+	// by the result; everything else came from the pool.
+	need := len(cands)
+	if need > e.opts.MaxCandidates {
+		need = e.opts.MaxCandidates
+	}
+	grown := make([]Clustering, len(out), len(out)+need)
+	copy(grown, out)
+	out = grown
+	var ar resultArena
+	clear(sc.seen)
 	for _, c := range cands {
 		key := [4]int{c.lo1, c.hi1, c.lo2, c.hi2}
-		if seen[key] {
+		if sc.seen[key] {
 			continue
 		}
-		seen[key] = true
-		s := Clustering{materialize(avail, c.lo1, c.hi1)}
+		sc.seen[key] = true
+		nc := 1
 		if c.hi2 > 0 {
-			s = append(s, materialize(avail, c.lo2, c.hi2))
+			nc = 2
+		}
+		s := ar.clustering(nc)
+		s[0] = materialize(&ar, avail, c.lo1, c.hi1)
+		if c.hi2 > 0 {
+			s[1] = materialize(&ar, avail, c.lo2, c.hi2)
 		}
 		if crit := e.opts.Criterion; crit != nil && !clusteringHolds(e.rel, crit, s) {
 			continue
@@ -378,8 +483,8 @@ func clusteringHolds(rel *relation.Relation, crit privacy.Criterion, s Clusterin
 }
 
 // baseWindows gathers the cheapest windows of exactly size K for pairwise
-// composition.
-func (e *Enumerator) baseWindows(m int, cost func(lo, hi int) int) []scoredWindow {
+// composition, in the scratch's reusable buffer.
+func (e *Enumerator) baseWindows(sc *scratch, m int, cost func(lo, hi int) int) []scoredWindow {
 	k := e.opts.K
 	nWindows := m - k + 1
 	if nWindows <= 0 {
@@ -390,10 +495,11 @@ func (e *Enumerator) baseWindows(m int, cost func(lo, hi int) int) []scoredWindo
 	if nWindows > budget*2 {
 		stride = nWindows / (budget * 2)
 	}
-	var ws []scoredWindow
+	ws := sc.base[:0]
 	for lo := 0; lo+k <= m; lo += stride {
 		ws = append(ws, scoredWindow{lo1: lo, hi1: lo + k, cost: cost(lo, lo+k)})
 	}
+	sc.base = ws
 	sort.Slice(ws, func(i, j int) bool {
 		if ws[i].cost != ws[j].cost {
 			return ws[i].cost < ws[j].cost
@@ -406,13 +512,8 @@ func (e *Enumerator) baseWindows(m int, cost func(lo, hi int) int) []scoredWindo
 	return ws
 }
 
-type scoredWindow struct {
-	lo1, hi1 int
-	cost     int
-}
-
-func materialize(avail []int, lo, hi int) []int {
-	c := make([]int, hi-lo)
+func materialize(ar *resultArena, avail []int, lo, hi int) []int {
+	c := ar.rows(hi - lo)
 	copy(c, avail[lo:hi])
 	sort.Ints(c)
 	return c

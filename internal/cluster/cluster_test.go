@@ -7,6 +7,7 @@ import (
 
 	"diva/internal/constraint"
 	"diva/internal/relation"
+	"diva/internal/rowset"
 )
 
 func smallRelation(t testing.TB) *relation.Relation {
@@ -132,15 +133,15 @@ func TestCandidatesExcludeUsedRows(t *testing.T) {
 	rel := smallRelation(t)
 	b := mustBind(t, rel, constraint.New("ETH", "Asian", 2, 5))
 	e := NewEnumerator(rel, b, Options{K: 2})
-	used := map[int]bool{3: true, 5: true, 7: true} // three of five Asian rows
-	cands := e.Candidates(nil, func(row int) bool { return used[row] })
+	used := rowset.FromSlice(rel.Len(), []int{3, 5, 7}) // three of five Asian rows
+	cands := e.Candidates(nil, used)
 	if len(cands) == 0 {
 		t.Fatal("no candidates on remaining rows")
 	}
 	for _, s := range cands {
 		for _, c := range s {
 			for _, row := range c {
-				if used[row] {
+				if used.Contains(row) {
 					t.Fatalf("candidate uses excluded row %d", row)
 				}
 			}
@@ -206,11 +207,15 @@ func TestClusteringHelpers(t *testing.T) {
 			t.Fatalf("Rows = %v", rows)
 		}
 	}
-	if ClusterKey([]int{1, 2}) == ClusterKey([]int{1, 3}) {
-		t.Fatal("distinct clusters share a key")
+	if Fingerprint([]int{1, 2}) == Fingerprint([]int{1, 3}) {
+		t.Fatal("distinct clusters share a fingerprint")
 	}
-	if ClusterKey([]int{1, 2}) != ClusterKey([]int{1, 2}) {
-		t.Fatal("equal clusters have different keys")
+	if Fingerprint([]int{1, 2}) != Fingerprint([]int{1, 2}) {
+		t.Fatal("equal clusters have different fingerprints")
+	}
+	set := s.RowSet(10)
+	if set.Len() != 5 || !set.Contains(9) || set.Contains(0) {
+		t.Fatalf("RowSet = %v", set.Slice())
 	}
 }
 

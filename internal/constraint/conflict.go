@@ -2,6 +2,7 @@ package constraint
 
 import (
 	"diva/internal/relation"
+	"diva/internal/rowset"
 )
 
 // PairConflict returns the conflict rate between two bound constraints over
@@ -9,13 +10,10 @@ import (
 // sets. It is 0 when the sets are disjoint (no interaction) and 1 when they
 // coincide. Two constraints with empty target sets have conflict 0.
 func PairConflict(rel *relation.Relation, bi, bj *Bound) float64 {
-	ri := bi.TargetRows(rel)
-	rj := bj.TargetRows(rel)
-	if len(ri) == 0 && len(rj) == 0 {
-		return 0
-	}
-	inter := intersectSortedCount(ri, rj)
-	union := len(ri) + len(rj) - inter
+	si := bi.TargetSet(rel)
+	sj := bj.TargetSet(rel)
+	inter := si.IntersectionCount(sj)
+	union := si.Len() + sj.Len() - inter
 	if union == 0 {
 		return 0
 	}
@@ -38,60 +36,22 @@ func PairConflict(rel *relation.Relation, bi, bj *Bound) float64 {
 // reachable on any dataset. A set with fewer than two constraints, or with
 // empty targets, has cf = 0.
 func SetConflict(rel *relation.Relation, bounds []*Bound) float64 {
-	claims := make(map[int]int) // row -> number of constraints targeting it
+	pool := rowset.NewPool(rel.Len())
+	claimed := pool.Get()   // rows targeted by at least one constraint
+	contested := pool.Get() // rows targeted by at least two
 	for _, b := range bounds {
-		for _, row := range b.TargetRows(rel) {
-			claims[row]++
-		}
+		ts := pool.Get()
+		b.TargetSetInto(rel, ts)
+		overlap := pool.Get()
+		overlap.CopyFrom(ts)
+		overlap.Intersect(claimed)
+		contested.Union(overlap)
+		claimed.Union(ts)
+		pool.Put(overlap)
+		pool.Put(ts)
 	}
-	if len(claims) == 0 {
+	if claimed.Len() == 0 {
 		return 0
 	}
-	contested := 0
-	for _, n := range claims {
-		if n > 1 {
-			contested++
-		}
-	}
-	return float64(contested) / float64(len(claims))
-}
-
-// intersectSortedCount counts common elements of two ascending-sorted int
-// slices. TargetRows returns rows in ascending row order, so no re-sort is
-// needed.
-func intersectSortedCount(a, b []int) int {
-	i, j, n := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
-}
-
-// IntersectSorted returns the common elements of two ascending-sorted int
-// slices, ascending.
-func IntersectSorted(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return float64(contested.Len()) / float64(claimed.Len())
 }

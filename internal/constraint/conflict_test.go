@@ -131,12 +131,33 @@ func TestConflictRangeProperty(t *testing.T) {
 	}
 }
 
-func TestIntersectSorted(t *testing.T) {
-	got := IntersectSorted([]int{1, 3, 5, 7}, []int{2, 3, 4, 7, 9})
-	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
-		t.Fatalf("IntersectSorted = %v", got)
-	}
-	if got := IntersectSorted(nil, []int{1}); got != nil {
-		t.Fatalf("IntersectSorted(nil, …) = %v", got)
+// TestTargetSetMatchesTargetRows pins the bitset target set to the sorted
+// slice view.
+func TestTargetSetMatchesTargetRows(t *testing.T) {
+	rel := patientRelation(t)
+	for _, c := range []Constraint{
+		New("ETH", "Asian", 2, 5),
+		New("CTY", "Vancouver", 1, 5),
+		New("ETH", "Martian", 0, 3), // unseen value: empty target set
+		NewMulti([]string{"GEN", "ETH"}, []string{"Female", "Asian"}, 1, 3),
+	} {
+		b, err := c.Bound(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := b.TargetRows(rel)
+		set := b.TargetSet(rel)
+		if set.Universe() != rel.Len() {
+			t.Fatalf("%s: universe %d, want %d", b, set.Universe(), rel.Len())
+		}
+		if got := set.Slice(); len(got) != len(rows) {
+			t.Fatalf("%s: TargetSet %v != TargetRows %v", b, got, rows)
+		} else {
+			for i := range rows {
+				if got[i] != rows[i] {
+					t.Fatalf("%s: TargetSet %v != TargetRows %v", b, got, rows)
+				}
+			}
+		}
 	}
 }

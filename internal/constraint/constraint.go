@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"diva/internal/relation"
+	"diva/internal/rowset"
 )
 
 // Constraint is a diversity constraint σ = (X[t], λl, λr): the published
@@ -182,6 +183,28 @@ func (b *Bound) TargetRows(rel *relation.Relation) []int {
 		return nil
 	}
 	return rel.MatchingRows(b.Attrs, b.Codes)
+}
+
+// TargetSet returns Iσ as a bitset over rel's rows: the engine's shared
+// row-set representation of the target tuple set. Prefer this over
+// TargetRows on paths doing set algebra (overlap, disjointness, Jaccard).
+func (b *Bound) TargetSet(rel *relation.Relation) *rowset.Set {
+	s := rowset.New(rel.Len())
+	b.TargetSetInto(rel, s)
+	return s
+}
+
+// TargetSetInto adds Iσ's rows to s, which must span rel's rows. It lets
+// pooled sets be reused across bounds without allocation.
+func (b *Bound) TargetSetInto(rel *relation.Relation, s *rowset.Set) {
+	if b.unseen {
+		return
+	}
+	for i, n := 0, rel.Len(); i < n; i++ {
+		if b.Matches(rel.Row(i)) {
+			s.Add(i)
+		}
+	}
 }
 
 // TargetQIRows returns the tuples matching the QI components of the target

@@ -268,14 +268,10 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 	var rest []int
 	err = phase(trace.PhaseSuppress, func(context.Context) error {
 		diverse = SuppressGeneralize(rel, sigmaClustering, opts.Hierarchies)
-		used := make(map[int]bool, sigmaClustering.Tuples())
-		for _, c := range sigmaClustering {
-			for _, row := range c {
-				used[row] = true
-			}
-		}
+		used := sigmaClustering.RowSet(n)
+		rest = make([]int, 0, n-used.Len())
 		for i := 0; i < n; i++ {
-			if !used[i] {
+			if !used.Contains(i) {
 				rest = append(rest, i)
 			}
 		}

@@ -17,21 +17,33 @@ type Relation struct {
 	dicts  []*Dictionary
 	rows   [][]uint32
 
-	// numCache[attr][code] holds the parsed numeric value for numeric
-	// attributes; NaN-free because codes are only cached after a successful
-	// parse. Lazily grown.
-	numCache [][]float64
-	numOK    [][]bool
+	// num is the numeric-parse cache, shared by pointer across every
+	// relation derived from the same dictionaries.
+	num *numericCache
+}
+
+// numericCache holds the lazily parsed numeric interpretation of dictionary
+// codes: vals[attr][code] is the parsed value when ok[attr][code] is true.
+// Parsing depends only on the dictionaries, which Derive and Clone share, so
+// the cache is one object per relation family referenced by pointer — slice
+// headers must not be copied between relations, or growth in one would
+// silently leave the other behind the shared dictionaries. Like the rest of
+// Relation it is not safe for concurrent mutation.
+type numericCache struct {
+	vals [][]float64
+	ok   [][]bool
 }
 
 // New returns an empty relation with the given schema and fresh
 // dictionaries.
 func New(schema *Schema) *Relation {
 	r := &Relation{
-		schema:   schema,
-		dicts:    make([]*Dictionary, schema.Len()),
-		numCache: make([][]float64, schema.Len()),
-		numOK:    make([][]bool, schema.Len()),
+		schema: schema,
+		dicts:  make([]*Dictionary, schema.Len()),
+		num: &numericCache{
+			vals: make([][]float64, schema.Len()),
+			ok:   make([][]bool, schema.Len()),
+		},
 	}
 	for i := range r.dicts {
 		r.dicts[i] = NewDictionary()
@@ -42,12 +54,13 @@ func New(schema *Schema) *Relation {
 // Derive returns a new empty relation sharing this relation's schema and
 // dictionaries. Rows appended to the derived relation intern values into the
 // shared dictionaries, so codes remain comparable across the two relations.
+// The numeric-parse cache is shared too (it is a pure function of the
+// dictionaries), so cache growth in either relation is visible to both.
 func (r *Relation) Derive() *Relation {
 	return &Relation{
-		schema:   r.schema,
-		dicts:    r.dicts,
-		numCache: r.numCache,
-		numOK:    r.numOK,
+		schema: r.schema,
+		dicts:  r.dicts,
+		num:    r.num,
 	}
 }
 
@@ -155,29 +168,30 @@ func (r *Relation) AppendRowsFrom(src *Relation, rows []int) {
 // per (attribute, code).
 func (r *Relation) NumericValue(attr int, code uint32) (float64, bool) {
 	d := r.dicts[attr]
-	if int(code) >= len(r.numCache[attr]) {
+	nc := r.num
+	if int(code) >= len(nc.vals[attr]) {
 		// Grow caches to dictionary size.
 		grown := make([]float64, d.Len())
-		copy(grown, r.numCache[attr])
-		r.numCache[attr] = grown
+		copy(grown, nc.vals[attr])
+		nc.vals[attr] = grown
 		grownOK := make([]bool, d.Len())
-		copy(grownOK, r.numOK[attr])
-		r.numOK[attr] = grownOK
+		copy(grownOK, nc.ok[attr])
+		nc.ok[attr] = grownOK
 		// Parse all newly covered codes.
 		for c := 0; c < d.Len(); c++ {
-			if r.numOK[attr][c] {
+			if nc.ok[attr][c] {
 				continue
 			}
 			if v, err := strconv.ParseFloat(d.Value(uint32(c)), 64); err == nil {
-				r.numCache[attr][c] = v
-				r.numOK[attr][c] = true
+				nc.vals[attr][c] = v
+				nc.ok[attr][c] = true
 			}
 		}
 	}
-	if int(code) >= len(r.numOK[attr]) || !r.numOK[attr][code] {
+	if int(code) >= len(nc.ok[attr]) || !nc.ok[attr][code] {
 		return 0, false
 	}
-	return r.numCache[attr][code], true
+	return nc.vals[attr][code], true
 }
 
 // NumericRange returns the min and max numeric values present in attribute

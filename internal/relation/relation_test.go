@@ -158,6 +158,45 @@ func TestDeriveSharesDictionaries(t *testing.T) {
 	}
 }
 
+// TestDeriveSharesNumericCache pins the Derive fix: the numeric-parse cache
+// is one pointer-shared object per relation family, so growth triggered
+// through any member stays coherent with the shared dictionaries for all of
+// them (copying the slice headers instead would let the relations diverge).
+func TestDeriveSharesNumericCache(t *testing.T) {
+	r := testRelation(t)
+	d := r.Derive()
+	if r.num != d.num {
+		t.Fatal("Derive did not share the numeric cache by pointer")
+	}
+
+	// Warm the parent's cache, then intern new numeric values through the
+	// derived relation only.
+	if v, ok := r.NumericValue(1, r.Code(0, 1)); !ok || v != 30 {
+		t.Fatalf("parent warm-up = %v, %t", v, ok)
+	}
+	d.MustAppendValues("F", "77", "Calgary", "Flu")
+	code77 := d.Code(0, 1)
+
+	// The parent must see the grown cache and parse the new code.
+	if v, ok := r.NumericValue(1, code77); !ok || v != 77 {
+		t.Fatalf("parent NumericValue(new code) = %v, %t", v, ok)
+	}
+	// And growth through the parent must be visible to the derivative.
+	r2 := r.Derive()
+	r2.MustAppendValues("M", "88", "Toronto", "Cold")
+	code88 := r2.Code(0, 1)
+	if v, ok := r.NumericValue(1, code88); !ok || v != 88 {
+		t.Fatalf("parent NumericValue(88) = %v, %t", v, ok)
+	}
+	if v, ok := d.NumericValue(1, code88); !ok || v != 88 {
+		t.Fatalf("sibling NumericValue(88) = %v, %t", v, ok)
+	}
+	if len(d.num.vals[1]) != d.Dict(1).Len() || len(d.num.ok[1]) != d.Dict(1).Len() {
+		t.Fatalf("cache len %d/%d behind dictionary len %d",
+			len(d.num.vals[1]), len(d.num.ok[1]), d.Dict(1).Len())
+	}
+}
+
 func TestAppendRowsFrom(t *testing.T) {
 	r := testRelation(t)
 	d := r.Derive()

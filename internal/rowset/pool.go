@@ -1,0 +1,42 @@
+package rowset
+
+// Pool recycles Sets over one fixed universe so hot paths — backtracking
+// push/pop, per-bound scratch sets — can borrow and return sets without
+// per-step allocation. Get returns a cleared set; Put recycles one. The
+// zero allocation discipline: every Get is paired with a Put once the
+// borrowed set no longer escapes, and a set handed to long-lived state is
+// simply never Put back.
+//
+// A Pool is not safe for concurrent use; give each worker its own (sets
+// from different pools over the same universe interoperate freely).
+type Pool struct {
+	n    int
+	free []*Set
+}
+
+// NewPool returns a pool of sets over the universe [0, n).
+func NewPool(n int) *Pool { return &Pool{n: n} }
+
+// Universe returns the universe size of the pool's sets.
+func (p *Pool) Universe() int { return p.n }
+
+// Get returns an empty set over the pool's universe, reusing a returned one
+// when available.
+func (p *Pool) Get() *Set {
+	if len(p.free) == 0 {
+		return New(p.n)
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	s.Clear()
+	return s
+}
+
+// Put returns a set to the pool. The set must come from a pool or New with
+// the same universe and must not be used after Put.
+func (p *Pool) Put(s *Set) {
+	if s == nil || s.n != p.n {
+		return
+	}
+	p.free = append(p.free, s)
+}

@@ -23,6 +23,7 @@ import (
 	"diva/internal/cluster"
 	"diva/internal/constraint"
 	"diva/internal/relation"
+	"diva/internal/rowset"
 	"diva/internal/trace"
 )
 
@@ -92,9 +93,9 @@ type Graph struct {
 // rel, preparing candidate enumeration per node with the given options.
 func BuildGraph(rel *relation.Relation, bounds []*constraint.Bound, opts cluster.Options) *Graph {
 	g := &Graph{rel: rel, Nodes: make([]*Node, len(bounds))}
-	targets := make([][]int, len(bounds))
+	targets := make([]*rowset.Set, len(bounds))
 	for i, b := range bounds {
-		targets[i] = b.TargetRows(rel)
+		targets[i] = b.TargetSet(rel)
 		g.Nodes[i] = &Node{
 			Index: i,
 			Bound: b,
@@ -103,28 +104,13 @@ func BuildGraph(rel *relation.Relation, bounds []*constraint.Bound, opts cluster
 	}
 	for i := range g.Nodes {
 		for j := i + 1; j < len(g.Nodes); j++ {
-			if overlapSorted(targets[i], targets[j]) {
+			if targets[i].Intersects(targets[j]) {
 				g.Nodes[i].Neighbors = append(g.Nodes[i].Neighbors, j)
 				g.Nodes[j].Neighbors = append(g.Nodes[j].Neighbors, i)
 			}
 		}
 	}
 	return g
-}
-
-func overlapSorted(a, b []int) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			return true
-		}
-	}
-	return false
 }
 
 // Stats reports search effort.
@@ -135,10 +121,12 @@ type Stats struct {
 	Backtracks int
 	// CandidatesTried counts consistency checks of candidate clusterings.
 	CandidatesTried int
-	// CacheHits and CacheMisses report the per-generation candidate cache:
-	// a hit serves a node's raw candidate list without re-enumerating it
-	// (MinChoice probes every uncolored node before picking one, so the
-	// chosen node's candidates are typically served from cache).
+	// CacheHits and CacheMisses report the fingerprint-keyed candidate
+	// cache: a hit serves a node's raw candidate list without re-enumerating
+	// it. Entries are keyed by (node, used-set fingerprint), so they survive
+	// backtracking — revisiting a previously seen used-row state hits the
+	// cache (MinChoice probes every uncolored node before picking one, so
+	// the chosen node's candidates are typically served from cache too).
 	CacheHits   int
 	CacheMisses int
 	// Err records why an unsuccessful search stopped early: the context's
@@ -186,10 +174,10 @@ func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, foun
 		g:         g,
 		assigned:  make([]cluster.Clustering, len(g.Nodes)),
 		colored:   make([]bool, len(g.Nodes)),
-		rowOwner:  make(map[int]string),
-		active:    make(map[string]*activeCluster),
+		used:      rowset.New(g.rel.Len()),
+		active:    make(map[uint64]*activeCluster),
 		preserve:  make([]int, len(g.Nodes)),
-		candCache: make(map[int]cachedCandidates, len(g.Nodes)),
+		candCache: make(map[candKey][]cluster.Clustering, 4*len(g.Nodes)),
 		opts:      opts,
 	}
 	if opts.Ctx != nil {
@@ -201,14 +189,14 @@ func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, foun
 		return nil, stats, false
 	}
 	// Merge distinct clusters into SΣ.
-	seen := make(map[string]bool)
+	seen := make(map[uint64]bool)
 	for _, s := range st.assigned {
 		for _, c := range s {
-			key := cluster.ClusterKey(c)
-			if seen[key] {
+			fp := cluster.Fingerprint(c)
+			if seen[fp] {
 				continue
 			}
-			seen[key] = true
+			seen[fp] = true
 			sigma = append(sigma, c)
 		}
 	}
@@ -228,20 +216,28 @@ type state struct {
 	assigned []cluster.Clustering
 	colored  []bool
 	nColored int
-	// rowOwner maps a row index to the key of the active cluster that
-	// contains it.
-	rowOwner map[int]string
-	active   map[string]*activeCluster
+	// used is the bitset of rows claimed by the active clusters. Its Zobrist
+	// fingerprint is maintained incrementally across assign/unassign and
+	// keys the candidate cache.
+	used *rowset.Set
+	// active maps a cluster fingerprint to the active cluster it identifies
+	// (several nodes may share an identical cluster).
+	active map[uint64]*activeCluster
 	// preserve[j] is the number of occurrences of constraint j's target
 	// preserved by the distinct active clusters.
 	preserve []int
-	// candCache memoizes each node's raw candidate enumeration for the
-	// current assignment generation: MinChoice probes every uncolored node
-	// and candidatesFor then re-enumerates the chosen one, so without the
-	// cache the hottest enumeration runs twice per step. candGen increments
-	// whenever the set of used rows changes, invalidating all entries.
-	candCache map[int]cachedCandidates
-	candGen   int
+	// candCache memoizes raw candidate enumerations keyed by (node,
+	// used-set fingerprint). Enumeration is a pure function of the node and
+	// the used-row set, so entries stay valid across backtracking: MinChoice
+	// probes every uncolored node before picking one, and unwinding to a
+	// previously explored used-state serves enumerations without redoing
+	// them. The cache is cleared wholesale if it ever exceeds
+	// maxCandCacheEntries.
+	candCache map[candKey][]cluster.Clustering
+	// newClusters is isConsistent's reusable scratch for the genuinely new
+	// clusters of a candidate (candidatesFor finishes with it before the
+	// search recurses, so one buffer per state suffices).
+	newClusters [][]int
 	// done is the context's cancellation channel (nil when no context).
 	done    <-chan struct{}
 	opts    Options
@@ -249,12 +245,17 @@ type state struct {
 	aborted bool
 }
 
-// cachedCandidates is one node's raw enumeration, valid while gen matches
-// the state's current generation.
-type cachedCandidates struct {
-	gen   int
-	cands []cluster.Clustering
+// candKey identifies one cached enumeration: the node and the fingerprint
+// of the used-row set it was enumerated against.
+type candKey struct {
+	node int
+	fp   uint64
 }
+
+// maxCandCacheEntries bounds candCache; deep searches over many used-states
+// would otherwise grow it without limit. Exceeding it drops the whole cache
+// (entries are cheap to rebuild — one enumeration each).
+const maxCandCacheEntries = 4096
 
 // canceled polls the portfolio stop flag and the context; it latches into
 // aborted so an interrupted search unwinds without further work.
@@ -279,27 +280,26 @@ func (st *state) canceled() bool {
 }
 
 // rawCandidates returns node v's candidate enumeration against the current
-// used-row set, served from the per-generation cache when possible.
+// used-row set, served from the fingerprint-keyed cache when possible.
 func (st *state) rawCandidates(v int) []cluster.Clustering {
-	if e, ok := st.candCache[v]; ok && e.gen == st.candGen {
+	key := candKey{node: v, fp: st.used.Fingerprint()}
+	if cands, ok := st.candCache[key]; ok {
 		st.stats.CacheHits++
 		if st.opts.Tracer != nil {
-			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCacheHit, Node: v, N: len(e.cands)})
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCacheHit, Node: v, N: len(cands)})
 		}
-		return e.cands
+		return cands
 	}
-	cands := st.g.Nodes[v].Enum.Candidates(st.opts.Ctx, st.isUsed)
-	st.candCache[v] = cachedCandidates{gen: st.candGen, cands: cands}
+	cands := st.g.Nodes[v].Enum.Candidates(st.opts.Ctx, st.used)
+	if len(st.candCache) >= maxCandCacheEntries {
+		clear(st.candCache)
+	}
+	st.candCache[key] = cands
 	st.stats.CacheMisses++
 	if st.opts.Tracer != nil {
 		st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCandidates, Node: v, N: len(cands)})
 	}
 	return cands
-}
-
-func (st *state) isUsed(row int) bool {
-	_, used := st.rowOwner[row]
-	return used
 }
 
 // candidatesFor regenerates node v's candidates against the rows still
@@ -371,7 +371,7 @@ func (st *state) color() bool {
 		// All nodes colored; lower bounds hold by construction (each node's
 		// own clustering preserves ≥ λl occurrences) and upper bounds were
 		// enforced on every assignment.
-		return st.opts.Accept == nil || st.opts.Accept(len(st.rowOwner))
+		return st.opts.Accept == nil || st.opts.Accept(st.used.Len())
 	}
 	if st.canceled() {
 		return false
@@ -459,16 +459,15 @@ func (st *state) isConsistent(cand cluster.Clustering) bool {
 	// disjoint from all of them. Dynamically enumerated candidates are
 	// disjoint by construction; the check protects externally supplied
 	// clusterings too.
-	newClusters := cand[:0:0]
+	newClusters := st.newClusters[:0]
+	defer func() { st.newClusters = newClusters[:0] }()
 	for _, c := range cand {
-		key := cluster.ClusterKey(c)
-		if _, shared := st.active[key]; shared {
+		fp := cluster.Fingerprint(c)
+		if _, shared := st.active[fp]; shared {
 			continue // identical cluster already active: sharing is allowed
 		}
-		for _, row := range c {
-			if st.isUsed(row) {
-				return false // partial overlap with a different cluster
-			}
+		if st.used.IntersectsAny(c) {
+			return false // partial overlap with a different cluster
 		}
 		newClusters = append(newClusters, c)
 	}
@@ -490,17 +489,14 @@ func (st *state) assign(v int, cand cluster.Clustering) {
 	st.assigned[v] = cand
 	st.colored[v] = true
 	st.nColored++
-	st.candGen++ // the used-row set changes: all cached enumerations stale
 	for _, c := range cand {
-		key := cluster.ClusterKey(c)
-		if ac, ok := st.active[key]; ok {
+		fp := cluster.Fingerprint(c)
+		if ac, ok := st.active[fp]; ok {
 			ac.refs++
 			continue
 		}
-		st.active[key] = &activeCluster{rows: c, refs: 1}
-		for _, row := range c {
-			st.rowOwner[row] = key
-		}
+		st.active[fp] = &activeCluster{rows: c, refs: 1}
+		st.used.AddSlice(c) // incremental fingerprint update
 		for j, node := range st.g.Nodes {
 			st.preserve[j] += preservedIn(st.g.rel, node.Bound, c)
 		}
@@ -511,18 +507,15 @@ func (st *state) unassign(v int, cand cluster.Clustering) {
 	st.assigned[v] = nil
 	st.colored[v] = false
 	st.nColored--
-	st.candGen++
 	for _, c := range cand {
-		key := cluster.ClusterKey(c)
-		ac := st.active[key]
+		fp := cluster.Fingerprint(c)
+		ac := st.active[fp]
 		ac.refs--
 		if ac.refs > 0 {
 			continue
 		}
-		delete(st.active, key)
-		for _, row := range c {
-			delete(st.rowOwner, row)
-		}
+		delete(st.active, fp)
+		st.used.RemoveSlice(c)
 		for j, node := range st.g.Nodes {
 			st.preserve[j] -= preservedIn(st.g.rel, node.Bound, c)
 		}
