@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare obs-smoke ci
 
 all: ci
 
@@ -55,4 +55,45 @@ bench-compare:
 		echo "benchstat not found; install golang.org/x/perf/cmd/benchstat"; exit 1; }
 	benchstat $(BENCH_OLD) $(BENCH_NEW)
 
-ci: fmt-check vet build test race
+# obs-smoke exercises the ops layer end to end: it runs cmd/diva with
+# -listen on an ephemeral port against the paper's example (testdata/), keeps
+# the process alive with -hold, scrapes /metrics and /debug/diva/runs, and
+# asserts the Prometheus exposition carries the run histograms and the runs
+# endpoint a completed run.
+obs-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$$tmp/diva -in testdata/patients.csv -constraints testdata/patients.sigma \
+		-k 2 -seed 42 -listen 127.0.0.1:0 -hold 30s \
+		>$$tmp/out.csv 2>$$tmp/err.log & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#.*listening on http://##p' $$tmp/err.log | head -1); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo "obs-smoke: ops server never announced an address"; \
+		cat $$tmp/err.log; exit 1; fi; \
+	ok=""; \
+	for i in $$(seq 1 100); do \
+		curl -sf "http://$$addr/metrics" >$$tmp/metrics.txt || true; \
+		if grep -q '^diva_runs_total{outcome="ok"} [1-9]' $$tmp/metrics.txt; then \
+			ok=1; break; fi; sleep 0.1; \
+	done; \
+	if [ -z "$$ok" ]; then \
+		echo "obs-smoke: /metrics never showed a completed run"; \
+		cat $$tmp/metrics.txt; exit 1; fi; \
+	grep -q '^diva_phase_duration_seconds_bucket{phase="color"' $$tmp/metrics.txt || { \
+		echo "obs-smoke: /metrics missing phase histogram"; exit 1; }; \
+	grep -q '^diva_search_heartbeats_total [1-9]' $$tmp/metrics.txt || { \
+		echo "obs-smoke: /metrics missing search heartbeats"; exit 1; }; \
+	curl -sf "http://$$addr/debug/diva/runs" >$$tmp/runs.json; \
+	grep -q '"state": "ok"' $$tmp/runs.json || { \
+		echo "obs-smoke: /debug/diva/runs has no completed run:"; \
+		cat $$tmp/runs.json; exit 1; }; \
+	[ -s $$tmp/out.csv ] || { echo "obs-smoke: empty anonymized output"; exit 1; }; \
+	echo "obs-smoke: ok (scraped http://$$addr)"
+
+ci: fmt-check vet build test race obs-smoke

@@ -6,11 +6,20 @@
 //	diva -in data.csv -constraints sigma.txt -k 10 [-strategy MaxFanOut]
 //	     [-seed 1] [-baseline k-member] [-verify] [-stats]
 //	     [-timeout 30s] [-trace] [-metrics]
+//	     [-listen 127.0.0.1:9090] [-hold 30s] [-log-format text|json]
 //
 // -timeout bounds the run's wall time (the search stops promptly and the
 // command exits nonzero), -trace streams phase boundaries and the portfolio
 // outcome to stderr as they happen, and -metrics dumps the run's aggregated
 // metrics — per-phase wall times, search counters — as JSON on stderr.
+//
+// -listen starts the ops HTTP server for the life of the process: /metrics
+// (Prometheus text exposition), /debug/vars (expvar), /debug/pprof/*, and
+// /debug/diva/runs (JSON of live and recently completed runs). Use ":0" for
+// an ephemeral port; the bound address is printed on stderr. -hold keeps the
+// process alive that long after the run finishes so scrapers can collect.
+// -log-format switches on structured run logging (log/slog) on stderr, in
+// logfmt-style text or JSON.
 //
 // The input CSV header must annotate each column as NAME:role[:kind], e.g.
 //
@@ -33,14 +42,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"diva"
 	"diva/internal/metrics"
+	"diva/internal/obs"
 	"diva/internal/report"
 	"diva/internal/search"
+	"diva/internal/trace"
 )
 
 func main() {
@@ -59,6 +71,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		traceFlag   = flag.Bool("trace", false, "stream phase boundaries and portfolio outcomes to stderr")
 		metricsDump = flag.Bool("metrics", false, "dump the run's aggregated metrics as JSON on stderr")
+		listen      = flag.String("listen", "", "serve ops endpoints (/metrics, /debug/vars, /debug/pprof, /debug/diva/runs) on this address (\":0\" = ephemeral port)")
+		hold        = flag.Duration("hold", 0, "keep the process (and its -listen ops server) alive this long after the run (0 = exit when done)")
+		logFormat   = flag.String("log-format", "", "structured run logging on stderr: text or json (empty = off)")
 		hierarchies hierarchyFlags
 	)
 	flag.Var(&hierarchies, "hierarchy", "ATTR=FILE: generalize ATTR via the child->parent hierarchy in FILE instead of suppressing (repeatable)")
@@ -67,6 +82,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "diva: -in is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var logger *slog.Logger
+	if *logFormat != "" {
+		var err error
+		logger, err = obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		if logger != nil {
+			logger.Info("ops server listening", slog.String("addr", srv.Addr().String()))
+		} else {
+			fmt.Fprintf(os.Stderr, "diva: ops server listening on http://%s\n", srv.Addr())
+		}
 	}
 
 	f, err := os.Open(*in)
@@ -114,9 +150,14 @@ func main() {
 		Parallel:    *parallel,
 		Hierarchies: hs,
 	}
+	var tracers []diva.Tracer
 	if *traceFlag {
-		opts.Tracer = diva.NewWriterTracer(os.Stderr)
+		tracers = append(tracers, diva.NewWriterTracer(os.Stderr))
 	}
+	if logger != nil {
+		tracers = append(tracers, obs.NewSlogTracer(logger))
+	}
+	opts.Tracer = trace.Tee(tracers...)
 	if hs != nil && *verify {
 		fatal(errors.New("-verify checks the strict R ⊑ R' relation, which generalized outputs do not satisfy; drop -verify or -hierarchy"))
 	}
@@ -135,6 +176,14 @@ func main() {
 			fatal(err)
 		}
 	} else {
+		if logger != nil {
+			logger.Info("run start",
+				slog.Int("rows", rel.Len()),
+				slog.Int("constraints", len(sigma)),
+				slog.Int("k", *k),
+				slog.String("strategy", strat.String()),
+				slog.Int("parallel", *parallel))
+		}
 		res, err := diva.AnonymizeContext(ctx, rel, sigma, opts)
 		if res != nil && res.Metrics != nil {
 			if *traceFlag {
@@ -144,6 +193,22 @@ func main() {
 				enc := json.NewEncoder(os.Stderr)
 				enc.SetIndent("", "  ")
 				enc.Encode(res.Metrics)
+			}
+			if logger != nil {
+				m := res.Metrics
+				rlog := obs.RunLogger(logger, m.RunID)
+				if err != nil {
+					rlog.Error("run failed", slog.Any("error", err),
+						slog.Duration("total", m.Total),
+						slog.Bool("canceled", m.Canceled))
+				} else {
+					rlog.Info("run complete",
+						slog.Duration("total", m.Total),
+						slog.Int("steps", m.Steps),
+						slog.Int("backtracks", m.Backtracks),
+						slog.Int("suppressed_cells", m.SuppressedCells),
+						slog.Float64("accuracy", m.Accuracy))
+				}
 			}
 		}
 		if err != nil {
@@ -175,6 +240,14 @@ func main() {
 	}
 	if err := diva.WriteCSV(os.Stdout, out); err != nil {
 		fatal(err)
+	}
+	if *hold > 0 {
+		if logger != nil {
+			logger.Info("holding after run", slog.Duration("hold", *hold))
+		} else if *listen != "" {
+			fmt.Fprintf(os.Stderr, "diva: holding for %s (ops server stays up)\n", *hold)
+		}
+		time.Sleep(*hold)
 	}
 }
 

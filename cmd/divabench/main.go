@@ -88,6 +88,12 @@ func main() {
 			}
 			table.Notes = append(table.Notes, "engine phases: "+trace.FormatPhaseSeconds(phases))
 		}
+		// Per-config engine counters: the registry delta across this
+		// experiment (runs, search effort, candidate-cache traffic).
+		delta := trace.GlobalTotals().Delta(before)
+		if delta.Runs > 0 {
+			table.Engine = &delta
+		}
 		if *jsonOut {
 			tables = append(tables, table)
 		} else {

@@ -148,6 +148,9 @@ type (
 	RunMetrics = trace.RunMetrics
 	// PhaseTiming is one phase's measured wall time.
 	PhaseTiming = trace.PhaseTiming
+	// Recorder is a goroutine-safe Tracer aggregating a run's events into
+	// a RunMetrics.
+	Recorder = trace.Recorder
 )
 
 // Event kinds.
@@ -159,6 +162,12 @@ const (
 	KindCandidates = trace.KindCandidates
 	KindCacheHit   = trace.KindCacheHit
 	KindWorkerWin  = trace.KindWorkerWin
+	// KindProgress is the search's liveness heartbeat: cumulative
+	// step/backtrack counters, coloring depth and the emitting portfolio
+	// worker, sent every few hundred steps and once at search end. In
+	// portfolio mode heartbeats reach the Tracer concurrently from every
+	// worker; handle at least this kind in a goroutine-safe way.
+	KindProgress = trace.KindProgress
 )
 
 // Run phases, in execution order.
@@ -175,6 +184,12 @@ const (
 // NewWriterTracer returns a Tracer that renders phase boundaries and
 // portfolio outcomes as human-readable lines on w.
 func NewWriterTracer(w io.Writer) Tracer { return trace.NewWriter(w) }
+
+// NewRecorder returns a Recorder. Feed it to Options.Tracer to aggregate a
+// run's events independently of the engine's own Result.Metrics; the two
+// end up identical (the final search heartbeat carries the authoritative
+// counters, in sequential and portfolio mode alike).
+func NewRecorder() *Recorder { return trace.NewRecorder() }
 
 // NewSchema builds a schema from attributes; names must be unique.
 func NewSchema(attrs ...Attribute) (*Schema, error) { return relation.NewSchema(attrs...) }

@@ -28,6 +28,7 @@ import (
 	"diva/internal/metrics"
 	"diva/internal/relation"
 	"diva/internal/search"
+	"diva/internal/trace"
 )
 
 // Config holds the experiment parameters, mirroring Table 5's grid with
@@ -109,6 +110,11 @@ type Table struct {
 	// breakdown accumulated while the experiment ran (from the process-wide
 	// metrics registry), keyed by phase name.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// Engine, when set by the caller, is the delta of the process-wide
+	// engine counters (runs, steps, backtracks, candidate-cache traffic)
+	// bracketing this experiment — the per-config metrics snapshot emitted
+	// into divabench's JSON output.
+	Engine *trace.Totals `json:"engine,omitempty"`
 }
 
 // Print renders the table as aligned text.

@@ -18,6 +18,7 @@ import (
 	"diva/internal/constraint"
 	"diva/internal/hierarchy"
 	"diva/internal/metrics"
+	"diva/internal/obs"
 	"diva/internal/privacy"
 	"diva/internal/relation"
 	"diva/internal/search"
@@ -126,18 +127,24 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 	}
 	start := time.Now()
 	rec := trace.NewRecorder()
-	tr := trace.Tee(opts.Tracer, rec)
+	// Register with the process-wide run registry: the run is visible at
+	// /debug/diva/runs (current phase, heartbeat liveness) from here until
+	// finish moves it to the completed ring.
+	run := obs.Runs.Begin()
+	tr := trace.Tee(opts.Tracer, rec, run)
 	var stats search.Stats
 
 	// finish stamps the run's metrics onto the result (building an
 	// otherwise-empty one on error paths), normalizes context errors to
-	// ErrCanceled, and folds the run into the process-wide registry.
+	// ErrCanceled, and folds the run into the process-wide registries
+	// (expvar totals, Prometheus exposition, run registry).
 	finish := func(res *Result, err error) (*Result, error) {
 		if err != nil && !errors.Is(err, ErrCanceled) &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			err = fmt.Errorf("%w: %w", ErrCanceled, err)
 		}
 		m := rec.Snapshot()
+		m.RunID = run.ID()
 		m.Total = time.Since(start)
 		m.Steps, m.Backtracks, m.CandidatesTried = stats.Steps, stats.Backtracks, stats.CandidatesTried
 		m.CandidateCacheHits, m.CandidateCacheMisses = stats.CacheHits, stats.CacheMisses
@@ -146,9 +153,16 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		if res == nil {
 			res = &Result{}
 		}
+		if res.Output != nil {
+			m.SuppressedCells = metrics.SuppressionLoss(res.Output)
+			m.Accuracy = metrics.Accuracy(res.Output)
+		} else {
+			m.Accuracy = -1 // no published relation
+		}
 		res.Stats = stats
 		res.Metrics = m
 		trace.RecordGlobal(m, err)
+		run.End(m, err)
 		return res, err
 	}
 	// phase runs one stage under its trace events and pprof label. It

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"diva/internal/trace"
+)
+
+// Metrics is the process-wide Prometheus registry served at /metrics. Every
+// finished engine run feeds it through the trace.RecordGlobal sink installed
+// below, so any program importing the engine exposes run metrics with no
+// further plumbing.
+var Metrics = NewRegistry()
+
+// Default metric families. Durations use exponential buckets from 1ms to
+// ~65s; search-effort histograms use exponential buckets from 1 to ~4M
+// (MaxSteps defaults to 1M); ratio-valued histograms use ten linear buckets
+// over [0, 1].
+var (
+	mRuns = Metrics.NewCounterVec("diva_runs_total",
+		"Completed DIVA runs by outcome (ok, error, canceled).", "outcome")
+	mPhaseDur = Metrics.NewHistogramVec("diva_phase_duration_seconds",
+		"Wall time per engine phase.", "phase", ExpBuckets(0.001, 2, 17))
+	mSteps = Metrics.NewHistogram("diva_search_steps",
+		"Coloring-search assignment attempts per run.", ExpBuckets(1, 4, 12))
+	mBacktracks = Metrics.NewHistogram("diva_search_backtracks",
+		"Coloring-search retracted assignments per run.", ExpBuckets(1, 4, 12))
+	mHitRatio = Metrics.NewHistogram("diva_candidate_cache_hit_ratio",
+		"Per-run candidate-cache hit ratio.", LinearBuckets(0.1, 0.1, 10))
+	mCacheHits = Metrics.NewCounter("diva_candidate_cache_hits_total",
+		"Candidate-cache hits across runs.")
+	mCacheMisses = Metrics.NewCounter("diva_candidate_cache_misses_total",
+		"Candidate-cache misses across runs.")
+	mSuppressed = Metrics.NewHistogram("diva_suppressed_cells",
+		"Suppressed QI cells (stars) per published relation.", ExpBuckets(1, 4, 12))
+	mAccuracy = Metrics.NewHistogram("diva_accuracy",
+		"Fraction of QI cells preserved per published relation.", LinearBuckets(0.1, 0.1, 10))
+	mHeartbeats = Metrics.NewCounter("diva_search_heartbeats_total",
+		"KindProgress heartbeats received by the run registry.")
+)
+
+func init() {
+	Metrics.NewGaugeFunc("diva_runs_live",
+		"Engine runs currently in flight.", func() float64 {
+			return float64(Runs.LiveCount())
+		})
+	trace.RegisterSink(collect)
+}
+
+// collect folds one finished run into the Prometheus registry. It runs on
+// trace.RecordGlobal's path, i.e. once per core.Anonymize call, on every
+// outcome.
+func collect(m *trace.RunMetrics, err error) {
+	mRuns.With(outcome(m, err)).Inc()
+	if m == nil {
+		return
+	}
+	for _, pt := range m.Phases {
+		mPhaseDur.With(string(pt.Phase)).Observe(pt.Duration.Seconds())
+	}
+	mSteps.Observe(float64(m.Steps))
+	mBacktracks.Observe(float64(m.Backtracks))
+	mCacheHits.Add(int64(m.CandidateCacheHits))
+	mCacheMisses.Add(int64(m.CandidateCacheMisses))
+	if lookups := m.CandidateCacheHits + m.CandidateCacheMisses; lookups > 0 {
+		mHitRatio.Observe(float64(m.CandidateCacheHits) / float64(lookups))
+	}
+	if err == nil && m.Accuracy >= 0 {
+		mSuppressed.Observe(float64(m.SuppressedCells))
+		mAccuracy.Observe(m.Accuracy)
+	}
+}

@@ -1,0 +1,265 @@
+// Engine-level tests of the ops layer: these live in an external test
+// package because obs cannot import the engine (core imports obs).
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"diva"
+	"diva/internal/obs"
+)
+
+const patientsCSV = `GEN:qi,ETH:qi,AGE:qi:numeric,PRV:qi,CTY:qi,DIAG:sensitive
+Female,Caucasian,80,AB,Calgary,Hypertension
+Female,Caucasian,32,AB,Calgary,Tuberculosis
+Male,Caucasian,59,AB,Calgary,Osteoarthritis
+Male,Caucasian,46,MB,Winnipeg,Migraine
+Male,African,32,MB,Winnipeg,Hypertension
+Male,African,43,BC,Vancouver,Seizure
+Male,Caucasian,35,BC,Vancouver,Hypertension
+Female,Asian,58,BC,Vancouver,Seizure
+Female,Asian,63,MB,Winnipeg,Influenza
+Female,Asian,71,BC,Vancouver,Migraine
+`
+
+func loadPatients(t testing.TB) *diva.Relation {
+	t.Helper()
+	rel, err := diva.ReadAnnotatedCSV(strings.NewReader(patientsCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func paperSigma() diva.Constraints {
+	return diva.Constraints{
+		diva.NewConstraint("ETH", "Asian", 2, 5),
+		diva.NewConstraint("ETH", "African", 1, 3),
+		diva.NewConstraint("CTY", "Vancouver", 2, 4),
+	}
+}
+
+// traceFunc adapts a function to the Tracer interface.
+type traceFunc func(diva.Event)
+
+func (f traceFunc) Trace(ev diva.Event) { f(ev) }
+
+// TestLiveRunVisibleWhileInFlight is the acceptance check for the run
+// registry: while an engine run is in flight, /debug/diva/runs (and the
+// registry snapshot behind it) shows the run with a nonzero heartbeat step
+// count. The caller's tracer blocks the run after the color phase, so the
+// final search heartbeat has definitely reached the registry and the run is
+// definitely still live when we look.
+func TestLiveRunVisibleWhileInFlight(t *testing.T) {
+	rel := loadPatients(t)
+	colorDone := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	tracer := traceFunc(func(ev diva.Event) {
+		if ev.Kind == diva.KindPhaseEnd && ev.Phase == diva.PhaseColor {
+			once.Do(func() { close(colorDone) })
+			<-release
+		}
+	})
+	type outcome struct {
+		res *diva.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := diva.AnonymizeContext(context.Background(), rel, paperSigma(),
+			diva.Options{K: 2, Seed: 1, Tracer: tracer})
+		done <- outcome{res, err}
+	}()
+	<-colorDone
+
+	live, _ := obs.Runs.Snapshot()
+	var found *obs.RunInfo
+	for i := range live {
+		if live[i].Steps > 0 {
+			found = &live[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no live run with Steps > 0 in snapshot: %+v", live)
+	}
+	if found.State != "running" || found.Heartbeats == 0 {
+		t.Fatalf("live run = %+v", *found)
+	}
+
+	// The same run must be visible over HTTP.
+	srv := httptest.NewServer(obs.NewMux(obs.Metrics, obs.Runs))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/diva/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Live []obs.RunInfo `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	served := false
+	for _, info := range doc.Live {
+		if info.ID == found.ID && info.Steps > 0 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("in-flight run %d not served at /debug/diva/runs: %+v", found.ID, doc.Live)
+	}
+
+	close(release)
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Metrics.RunID != found.ID {
+		t.Fatalf("RunID = %d, want registry ID %d", out.res.Metrics.RunID, found.ID)
+	}
+	_, completed := obs.Runs.Snapshot()
+	for _, info := range completed {
+		if info.ID == found.ID {
+			if info.State != "ok" {
+				t.Fatalf("completed run state = %q", info.State)
+			}
+			return
+		}
+	}
+	t.Fatalf("run %d missing from completed ring", found.ID)
+}
+
+// TestCallerRecorderMatchesEngine is the satellite-1 contract: a Recorder
+// supplied as Options.Tracer sees the same event stream the engine's own
+// recorder aggregates, so its snapshot matches Result.Metrics on every
+// search counter.
+func TestCallerRecorderMatchesEngine(t *testing.T) {
+	for name, parallel := range map[string]int{"sequential": 0, "portfolio": 3} {
+		t.Run(name, func(t *testing.T) {
+			rec := diva.NewRecorder()
+			res, err := diva.AnonymizeContext(context.Background(), loadPatients(t), paperSigma(),
+				diva.Options{K: 2, Seed: 1, Parallel: parallel, Tracer: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := rec.Snapshot()
+			e := res.Metrics
+			if m.Steps != e.Steps || m.Backtracks != e.Backtracks ||
+				m.CandidatesTried != e.CandidatesTried ||
+				m.CandidateCacheHits != e.CandidateCacheHits ||
+				m.CandidateCacheMisses != e.CandidateCacheMisses {
+				t.Fatalf("caller recorder %+v != engine metrics %+v", m, e)
+			}
+			if len(m.NodeAssigns) == 0 {
+				t.Fatal("caller recorder has no per-node assigns")
+			}
+		})
+	}
+}
+
+// TestConcurrentRunsRegistryAndMetrics is the satellite-3 race exercise:
+// concurrent AnonymizeContext calls with mixed outcomes (success, canceled,
+// no-diverse-clustering) drive the run registry and the histogram counters
+// from many goroutines at once. Run under -race via `make race`.
+func TestConcurrentRunsRegistryAndMetrics(t *testing.T) {
+	rel := loadPatients(t)
+	okSigma := paperSigma()
+	badSigma := diva.Constraints{diva.NewConstraint("ETH", "Asian", 9, 12)}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const n = 8
+	var wg sync.WaitGroup
+	outcomes := make([]string, n)
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			sigma := okSigma
+			opts := diva.Options{K: 2, Seed: uint64(i + 1)}
+			switch i % 4 {
+			case 1:
+				sigma = badSigma
+			case 2:
+				ctx = canceled
+			case 3:
+				opts.Parallel = 3
+			}
+			res, err := diva.AnonymizeContext(ctx, rel, sigma, opts)
+			switch {
+			case err == nil:
+				outcomes[i] = "ok"
+			case errors.Is(err, diva.ErrCanceled):
+				outcomes[i] = "canceled"
+			case errors.Is(err, diva.ErrNoDiverseClustering):
+				outcomes[i] = "error"
+			default:
+				outcomes[i] = "unexpected: " + err.Error()
+			}
+			if res != nil && res.Metrics != nil {
+				ids[i] = res.Metrics.RunID
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, got := range outcomes {
+		want := map[int]string{0: "ok", 1: "error", 2: "canceled", 3: "ok"}[i%4]
+		if got != want {
+			t.Fatalf("run %d outcome = %q, want %q", i, got, want)
+		}
+	}
+	seen := make(map[uint64]bool)
+	for i, id := range ids {
+		if id == 0 {
+			t.Fatalf("run %d got no RunID", i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate RunID %d", id)
+		}
+		seen[id] = true
+	}
+
+	if live := obs.Runs.LiveCount(); live != 0 {
+		t.Fatalf("%d runs still live after wg.Wait", live)
+	}
+	_, completed := obs.Runs.Snapshot()
+	states := map[string]int{}
+	for _, info := range completed {
+		if seen[info.ID] {
+			states[info.State]++
+		}
+	}
+	if states["ok"] != 4 || states["error"] != 2 || states["canceled"] != 2 {
+		t.Fatalf("completed ring outcomes = %v, want 4 ok / 2 error / 2 canceled", states)
+	}
+
+	var b bytes.Buffer
+	obs.Metrics.WritePrometheus(&b)
+	expo := b.String()
+	for _, want := range []string{
+		`diva_runs_total{outcome="ok"}`,
+		`diva_runs_total{outcome="error"}`,
+		`diva_runs_total{outcome="canceled"}`,
+		`diva_phase_duration_seconds_bucket{phase="color",le=`,
+		"diva_search_steps_bucket",
+		"diva_search_heartbeats_total",
+		"diva_accuracy_bucket",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("/metrics exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"diva/internal/trace"
+)
+
+// DefaultCompletedRuns is how many finished runs the default registry
+// retains for /debug/diva/runs.
+const DefaultCompletedRuns = 32
+
+// RunInfo is the externally visible state of one run, as served by
+// /debug/diva/runs.
+type RunInfo struct {
+	// ID is the registry-assigned run identifier (monotone per process).
+	ID uint64 `json:"id"`
+	// Start is the run's registration time.
+	Start time.Time `json:"start"`
+	// Elapsed is time since Start for live runs, and the final wall time for
+	// completed ones.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// State is "running", "ok", "error" or "canceled".
+	State string `json:"state"`
+	// Phase is the phase the run is currently in (live) or last entered.
+	Phase string `json:"phase,omitempty"`
+	// Steps, Depth and Worker mirror the run's last KindProgress heartbeat:
+	// the search's step count (the max over portfolio workers), its current
+	// coloring depth, and which worker sent the last heartbeat (−1
+	// sequential).
+	Steps  int `json:"steps"`
+	Depth  int `json:"depth"`
+	Worker int `json:"worker"`
+	// Heartbeats counts KindProgress events received, across all workers.
+	Heartbeats int64 `json:"heartbeats"`
+	// Err is the run's error string, set on completed error runs.
+	Err string `json:"error,omitempty"`
+	// Metrics is the completed run's aggregated RunMetrics (nil while
+	// running).
+	Metrics *trace.RunMetrics `json:"metrics,omitempty"`
+}
+
+// RunRegistry tracks every in-flight engine run plus a ring of the last K
+// completed ones. It is goroutine-safe: runs register, heartbeat and finish
+// concurrently. Runs is the process-wide default used by the engine.
+type RunRegistry struct {
+	mu     sync.Mutex
+	nextID uint64
+	live   map[uint64]*Run
+	done   []RunInfo // completed runs, oldest first, capped at keep
+	keep   int
+}
+
+// Runs is the process-wide run registry; core.Anonymize registers every run
+// here and the ops server exposes it at /debug/diva/runs.
+var Runs = NewRunRegistry(DefaultCompletedRuns)
+
+// NewRunRegistry returns a registry retaining keep completed runs (keep ≤ 0
+// selects DefaultCompletedRuns).
+func NewRunRegistry(keep int) *RunRegistry {
+	if keep <= 0 {
+		keep = DefaultCompletedRuns
+	}
+	return &RunRegistry{live: make(map[uint64]*Run), keep: keep}
+}
+
+// Begin registers a new live run and returns its handle. The handle is a
+// trace.Tracer: tee it into the run's event stream so phase changes and
+// heartbeats reach the registry, and call End exactly once when the run
+// finishes.
+func (r *RunRegistry) Begin() *Run {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	run := &Run{reg: r, id: r.nextID, start: time.Now(), worker: -1}
+	r.live[run.id] = run
+	return run
+}
+
+// LiveCount returns the number of in-flight runs.
+func (r *RunRegistry) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live)
+}
+
+// Snapshot returns the live runs (ascending ID) and the retained completed
+// runs (most recent first).
+func (r *RunRegistry) Snapshot() (live, completed []RunInfo) {
+	r.mu.Lock()
+	liveRuns := make([]*Run, 0, len(r.live))
+	for _, run := range r.live {
+		liveRuns = append(liveRuns, run)
+	}
+	completed = make([]RunInfo, len(r.done))
+	for i := range r.done {
+		completed[len(r.done)-1-i] = r.done[i]
+	}
+	r.mu.Unlock()
+	live = make([]RunInfo, len(liveRuns))
+	for i, run := range liveRuns {
+		live[i] = run.Info()
+	}
+	// Map iteration scrambled the order; restore ascending ID.
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j].ID < live[j-1].ID; j-- {
+			live[j], live[j-1] = live[j-1], live[j]
+		}
+	}
+	return live, completed
+}
+
+func (r *RunRegistry) finish(info RunInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.live, info.ID)
+	r.done = append(r.done, info)
+	if len(r.done) > r.keep {
+		r.done = r.done[len(r.done)-r.keep:]
+	}
+}
+
+// Run is the registry's handle for one in-flight engine run. It implements
+// trace.Tracer: phase-start events update the current phase and KindProgress
+// heartbeats update the search liveness fields. All methods are
+// goroutine-safe (portfolio workers heartbeat concurrently).
+type Run struct {
+	reg   *RunRegistry
+	id    uint64
+	start time.Time
+
+	mu         sync.Mutex
+	phase      trace.Phase
+	steps      int
+	depth      int
+	worker     int
+	heartbeats int64
+	ended      bool
+}
+
+// ID returns the registry-assigned run identifier.
+func (run *Run) ID() uint64 { return run.id }
+
+// Trace implements trace.Tracer.
+func (run *Run) Trace(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindPhaseStart:
+		run.mu.Lock()
+		run.phase = ev.Phase
+		run.mu.Unlock()
+	case trace.KindProgress:
+		mHeartbeats.Inc()
+		run.mu.Lock()
+		run.heartbeats++
+		if ev.Steps > run.steps {
+			run.steps = ev.Steps
+		}
+		run.depth = ev.Depth
+		run.worker = ev.Worker
+		run.mu.Unlock()
+	}
+}
+
+// Info returns the run's current externally visible state.
+func (run *Run) Info() RunInfo {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	return RunInfo{
+		ID:         run.id,
+		Start:      run.start,
+		Elapsed:    time.Since(run.start),
+		State:      "running",
+		Phase:      string(run.phase),
+		Steps:      run.steps,
+		Depth:      run.depth,
+		Worker:     run.worker,
+		Heartbeats: run.heartbeats,
+	}
+}
+
+// End moves the run from the live set into the completed ring, recording its
+// outcome. It is idempotent; only the first call takes effect.
+func (run *Run) End(m *trace.RunMetrics, err error) {
+	run.mu.Lock()
+	if run.ended {
+		run.mu.Unlock()
+		return
+	}
+	run.ended = true
+	info := RunInfo{
+		ID:         run.id,
+		Start:      run.start,
+		Elapsed:    time.Since(run.start),
+		State:      outcome(m, err),
+		Phase:      string(run.phase),
+		Steps:      run.steps,
+		Depth:      run.depth,
+		Worker:     run.worker,
+		Heartbeats: run.heartbeats,
+		Metrics:    m,
+	}
+	if err != nil {
+		info.Err = err.Error()
+	}
+	if m != nil {
+		info.Elapsed = m.Total
+		if m.Steps > info.Steps {
+			info.Steps = m.Steps
+		}
+	}
+	reg := run.reg
+	run.mu.Unlock()
+	reg.finish(info)
+}
+
+// outcome classifies a finished run for the registry and the runs-total
+// counter: "ok", "canceled" or "error".
+func outcome(m *trace.RunMetrics, err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case m != nil && m.Canceled:
+		return "canceled"
+	default:
+		return "error"
+	}
+}

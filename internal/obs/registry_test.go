@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"diva/internal/trace"
+)
+
+func TestRunLifecycle(t *testing.T) {
+	reg := NewRunRegistry(4)
+	run := reg.Begin()
+	if run.ID() == 0 {
+		t.Fatal("run ID must be nonzero")
+	}
+	if reg.LiveCount() != 1 {
+		t.Fatalf("LiveCount = %d, want 1", reg.LiveCount())
+	}
+	run.Trace(trace.Event{Kind: trace.KindPhaseStart, Phase: trace.PhaseColor})
+	run.Trace(trace.Event{Kind: trace.KindProgress, Steps: 100, Depth: 7, Worker: 2})
+	// A slower worker's stale heartbeat must not regress the step count.
+	run.Trace(trace.Event{Kind: trace.KindProgress, Steps: 50, Depth: 3, Worker: 0})
+
+	info := run.Info()
+	if info.State != "running" || info.Phase != string(trace.PhaseColor) {
+		t.Fatalf("live info = %+v", info)
+	}
+	if info.Steps != 100 || info.Heartbeats != 2 {
+		t.Fatalf("steps/heartbeats = %d/%d, want 100/2", info.Steps, info.Heartbeats)
+	}
+
+	live, completed := reg.Snapshot()
+	if len(live) != 1 || len(completed) != 0 {
+		t.Fatalf("snapshot: %d live, %d completed", len(live), len(completed))
+	}
+
+	m := &trace.RunMetrics{Total: 5 * time.Millisecond, Steps: 120}
+	run.End(m, nil)
+	run.End(m, errors.New("second End must be ignored"))
+	if reg.LiveCount() != 0 {
+		t.Fatalf("LiveCount after End = %d", reg.LiveCount())
+	}
+	live, completed = reg.Snapshot()
+	if len(live) != 0 || len(completed) != 1 {
+		t.Fatalf("snapshot after End: %d live, %d completed", len(live), len(completed))
+	}
+	done := completed[0]
+	if done.State != "ok" || done.Err != "" {
+		t.Fatalf("completed info = %+v", done)
+	}
+	if done.Elapsed != m.Total {
+		t.Fatalf("Elapsed = %v, want metrics total %v", done.Elapsed, m.Total)
+	}
+	if done.Steps != 120 {
+		t.Fatalf("Steps = %d, want final metrics value 120", done.Steps)
+	}
+	if done.Metrics != m {
+		t.Fatal("completed info must carry the run's metrics")
+	}
+}
+
+func TestCompletedRing(t *testing.T) {
+	reg := NewRunRegistry(2)
+	for i := 0; i < 3; i++ {
+		reg.Begin().End(nil, nil)
+	}
+	_, completed := reg.Snapshot()
+	if len(completed) != 2 {
+		t.Fatalf("ring kept %d runs, want 2", len(completed))
+	}
+	// Most recent first; the oldest run (ID 1) was evicted.
+	if completed[0].ID != 3 || completed[1].ID != 2 {
+		t.Fatalf("ring order: %d, %d; want 3, 2", completed[0].ID, completed[1].ID)
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		m    *trace.RunMetrics
+		err  error
+		want string
+	}{
+		{&trace.RunMetrics{}, nil, "ok"},
+		{nil, nil, "ok"},
+		{&trace.RunMetrics{Canceled: true}, boom, "canceled"},
+		{&trace.RunMetrics{}, boom, "error"},
+		{nil, boom, "error"},
+	}
+	for i, c := range cases {
+		if got := outcome(c.m, c.err); got != c.want {
+			t.Fatalf("case %d: outcome = %q, want %q", i, got, c.want)
+		}
+	}
+	reg := NewRunRegistry(4)
+	run := reg.Begin()
+	run.End(&trace.RunMetrics{}, boom)
+	_, completed := reg.Snapshot()
+	if completed[0].State != "error" || completed[0].Err != "boom" {
+		t.Fatalf("error run recorded as %+v", completed[0])
+	}
+}
+
+func TestSnapshotLiveOrder(t *testing.T) {
+	reg := NewRunRegistry(4)
+	var runs []*Run
+	for i := 0; i < 5; i++ {
+		runs = append(runs, reg.Begin())
+	}
+	live, _ := reg.Snapshot()
+	for i := 1; i < len(live); i++ {
+		if live[i].ID <= live[i-1].ID {
+			t.Fatalf("live runs not in ascending ID order: %+v", live)
+		}
+	}
+	for _, r := range runs {
+		r.End(nil, nil)
+	}
+}

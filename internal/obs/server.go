@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns an http.ServeMux mounting the ops endpoints:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/debug/vars       expvar (the trace package's process-wide "diva." totals)
+//	/debug/pprof/*    runtime profiles (phases carry a "diva_phase" label)
+//	/debug/diva/runs  JSON {"live": [...], "completed": [...]} from runs
+//
+// Pass Metrics and Runs (the process-wide defaults) for a standard ops
+// server, or dedicated instances in tests.
+func NewMux(reg *Registry, runs *RunRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/diva/runs", func(w http.ResponseWriter, _ *http.Request) {
+		live, completed := runs.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Live      []RunInfo `json:"live"`
+			Completed []RunInfo `json:"completed"`
+		}{Live: live, Completed: completed})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n"))
+	})
+	return mux
+}
+
+// Server is a running ops HTTP server.
+type Server struct {
+	srv *http.Server
+	l   net.Listener
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// Close shuts the listener down and stops serving.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an ops server for the process-wide Metrics and Runs on addr
+// (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port) and serves in a
+// background goroutine until Close.
+func Serve(addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(Metrics, Runs)}
+	go srv.Serve(l)
+	return &Server{srv: srv, l: l}, nil
+}

@@ -28,14 +28,26 @@ import (
 // returned Stats carry the context's error in Stats.Err.
 //
 // Tracing: workers run with per-step events suppressed (their interleaving
-// is nondeterministic); opts.Tracer receives only the KindWorkerWin event
-// identifying the winning worker and its strategy.
+// is nondeterministic), but KindProgress heartbeats are forwarded from every
+// worker as they happen — each stamped with its worker index — so a live run
+// stays observable while the portfolio races. When a worker wins, the
+// coordinator replays the winner's per-node assign/backtrack counts into
+// opts.Tracer as batched KindAssign/KindBacktrack events (Event.N carries
+// the count), emits a final authoritative KindProgress with the winner's
+// totals, and closes with the KindWorkerWin event identifying the winner and
+// its strategy.
 func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.Clustering, Stats, bool) {
 	if workers <= 0 {
 		workers = 3
 	}
 	tr := opts.Tracer
-	opts.Tracer = nil // workers run silent; only the coordinator emits
+	// Workers run with per-step events suppressed; only heartbeats pass
+	// through (concurrently — the Tracer contract requires KindProgress to
+	// be handled goroutine-safely in portfolio mode).
+	opts.Tracer = nil
+	if tr != nil {
+		opts.Tracer = progressOnly{tr}
+	}
 	type outcome struct {
 		sigma  cluster.Clustering
 		stats  Stats
@@ -58,6 +70,7 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 			wopts.Strategy = fullRot[w%len(fullRot)]
 			wopts.Rng = rand.New(rand.NewPCG(seed+uint64(w), seed^0x6c62272e07bb0142))
 			wopts.cancel = &stop
+			wopts.worker = w + 1
 			sigma, stats, found := g.Color(wopts)
 			if !found {
 				return
@@ -79,7 +92,40 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 		return nil, stats, false
 	}
 	if tr != nil {
+		// Replay the winner's per-node search activity (suppressed while the
+		// portfolio raced) as batched events, then pin the exact totals with
+		// a final heartbeat before announcing the winner.
+		for node, n := range best.stats.nodeAssigns {
+			if n > 0 {
+				tr.Trace(trace.Event{Kind: trace.KindAssign, Node: node, N: n})
+			}
+		}
+		for node, n := range best.stats.nodeBacktracks {
+			if n > 0 {
+				tr.Trace(trace.Event{Kind: trace.KindBacktrack, Node: node, N: n})
+			}
+		}
+		tr.Trace(trace.Event{
+			Kind:        trace.KindProgress,
+			Steps:       best.stats.Steps,
+			Backtracks:  best.stats.Backtracks,
+			Candidates:  best.stats.CandidatesTried,
+			CacheHits:   best.stats.CacheHits,
+			CacheMisses: best.stats.CacheMisses,
+			Worker:      best.worker,
+		})
 		tr.Trace(trace.Event{Kind: trace.KindWorkerWin, N: best.worker, Strategy: best.strat.String()})
 	}
 	return best.sigma, best.stats, true
+}
+
+// progressOnly forwards KindProgress heartbeats to the wrapped tracer and
+// drops every other event; ColorPortfolio wraps its workers' tracers with it
+// so per-step events stay suppressed while liveness heartbeats flow.
+type progressOnly struct{ dst trace.Tracer }
+
+func (p progressOnly) Trace(ev trace.Event) {
+	if ev.Kind == trace.KindProgress {
+		p.dst.Trace(ev)
+	}
 }

@@ -133,6 +133,12 @@ type Stats struct {
 	// error on cancellation or deadline expiry, nil when the search space
 	// was exhausted, the step budget ran out, or a coloring was found.
 	Err error
+	// nodeAssigns and nodeBacktracks count per-node search activity, indexed
+	// by constraint-graph node. They travel inside Stats so ColorPortfolio
+	// can replay the winning worker's counts into the run's tracer (worker
+	// per-step events are suppressed while the portfolio races).
+	nodeAssigns    []int
+	nodeBacktracks []int
 }
 
 // Options configures the coloring search.
@@ -155,13 +161,26 @@ type Options struct {
 	// or expired context aborts with Stats.Err set to the context's error.
 	Ctx context.Context
 	// Tracer, when non-nil, receives per-node assign/backtrack,
-	// candidate-enumeration and cache-hit events. ColorPortfolio suppresses
-	// it for its workers and emits only the worker-win event.
+	// candidate-enumeration and cache-hit events, plus KindProgress
+	// heartbeats every HeartbeatEvery steps and once when the search ends.
+	// ColorPortfolio suppresses the per-step events for its workers —
+	// heartbeats still flow, concurrently — and emits the worker-win event
+	// plus the winner's replayed per-node counts itself.
 	Tracer trace.Tracer
+	// HeartbeatEvery is the step cadence of KindProgress heartbeats; zero
+	// means the default of 256 steps. The final heartbeat at search end is
+	// emitted regardless.
+	HeartbeatEvery int
 	// cancel, when non-nil and set, aborts the search; used by
 	// ColorPortfolio to stop losing workers.
 	cancel *atomic.Bool
+	// worker is 1 + the portfolio worker index, or 0 for a sequential
+	// search; heartbeats report worker−1 (so −1 means sequential).
+	worker int
 }
+
+// DefaultHeartbeatEvery is the default KindProgress cadence in search steps.
+const DefaultHeartbeatEvery = 256
 
 // Color runs the backtracking coloring (Algorithm 4). It returns the merged
 // diverse clustering SΣ and search statistics. found is false when no
@@ -169,6 +188,9 @@ type Options struct {
 func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, found bool) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 1_000_000
+	}
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = DefaultHeartbeatEvery
 	}
 	st := &state{
 		g:         g,
@@ -180,10 +202,16 @@ func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, foun
 		candCache: make(map[candKey][]cluster.Clustering, 4*len(g.Nodes)),
 		opts:      opts,
 	}
+	st.stats.nodeAssigns = make([]int, len(g.Nodes))
+	st.stats.nodeBacktracks = make([]int, len(g.Nodes))
 	if opts.Ctx != nil {
 		st.done = opts.Ctx.Done()
 	}
 	ok := st.color()
+	// The final heartbeat carries the search's exact totals; tracers such as
+	// trace.Recorder use it to converge their running counters, and the run
+	// registry uses it to show the search's last known state.
+	st.emitProgress()
 	stats = st.stats
 	if !ok {
 		return nil, stats, false
@@ -383,10 +411,14 @@ func (st *state) color() bool {
 			st.aborted = true
 			return false
 		}
+		if st.stats.Steps%st.opts.HeartbeatEvery == 0 {
+			st.emitProgress()
+		}
 		if st.canceled() {
 			return false
 		}
 		st.assign(v, cand)
+		st.stats.nodeAssigns[v]++
 		if st.opts.Tracer != nil {
 			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindAssign, Node: v})
 		}
@@ -395,6 +427,7 @@ func (st *state) color() bool {
 		}
 		st.unassign(v, cand)
 		st.stats.Backtracks++
+		st.stats.nodeBacktracks[v]++
 		if st.opts.Tracer != nil {
 			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindBacktrack, Node: v})
 		}
@@ -403,6 +436,24 @@ func (st *state) color() bool {
 		}
 	}
 	return false
+}
+
+// emitProgress sends a KindProgress heartbeat carrying the search's
+// cumulative counters, its current depth and the emitting worker.
+func (st *state) emitProgress() {
+	if st.opts.Tracer == nil {
+		return
+	}
+	st.opts.Tracer.Trace(trace.Event{
+		Kind:        trace.KindProgress,
+		Steps:       st.stats.Steps,
+		Backtracks:  st.stats.Backtracks,
+		Candidates:  st.stats.CandidatesTried,
+		CacheHits:   st.stats.CacheHits,
+		CacheMisses: st.stats.CacheMisses,
+		Depth:       st.nColored,
+		Worker:      st.opts.worker - 1,
+	})
 }
 
 // nextNode implements NextNode for the three strategies.

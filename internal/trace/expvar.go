@@ -3,6 +3,7 @@ package trace
 import (
 	"expvar"
 	"strconv"
+	"sync"
 )
 
 // Process-wide run counters, published under the standard expvar endpoint
@@ -11,32 +12,58 @@ import (
 // watch cumulative phase time, search effort and cancellation rates without
 // per-run plumbing.
 var (
-	gRuns       = expvar.NewInt("diva.runs")
-	gErrors     = expvar.NewInt("diva.errors")
-	gCanceled   = expvar.NewInt("diva.canceled")
-	gSteps      = expvar.NewInt("diva.steps")
-	gBacktracks = expvar.NewInt("diva.backtracks")
-	gPhaseNanos = expvar.NewMap("diva.phase_nanos")
+	gRuns        = expvar.NewInt("diva.runs")
+	gErrors      = expvar.NewInt("diva.errors")
+	gCanceled    = expvar.NewInt("diva.canceled")
+	gSteps       = expvar.NewInt("diva.steps")
+	gBacktracks  = expvar.NewInt("diva.backtracks")
+	gCacheHits   = expvar.NewInt("diva.candidate_cache_hits")
+	gCacheMisses = expvar.NewInt("diva.candidate_cache_misses")
+	gPhaseNanos  = expvar.NewMap("diva.phase_nanos")
 )
 
-// RecordGlobal folds one finished run into the process-wide registry.
-// err is the run's outcome (nil on success); m may be nil for runs that
-// failed before any metrics existed.
+// sinks are additional per-run collectors invoked by RecordGlobal. The obs
+// package registers its Prometheus collector here, so every finished run
+// feeds the /metrics exposition through the same path as the expvar totals.
+var (
+	sinkMu sync.RWMutex
+	sinks  []func(*RunMetrics, error)
+)
+
+// RegisterSink adds a collector that observes every finished run recorded
+// through RecordGlobal. Sinks must be goroutine-safe (concurrent runs finish
+// concurrently) and must not retain m, which callers may reuse. There is no
+// way to unregister; sinks are meant to be installed once at init time.
+func RegisterSink(fn func(m *RunMetrics, err error)) {
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	sinks = append(sinks, fn)
+}
+
+// RecordGlobal folds one finished run into the process-wide registry and
+// forwards it to every registered sink. err is the run's outcome (nil on
+// success); m may be nil for runs that failed before any metrics existed.
 func RecordGlobal(m *RunMetrics, err error) {
 	gRuns.Add(1)
 	if err != nil {
 		gErrors.Add(1)
 	}
-	if m == nil {
-		return
+	if m != nil {
+		if m.Canceled {
+			gCanceled.Add(1)
+		}
+		gSteps.Add(int64(m.Steps))
+		gBacktracks.Add(int64(m.Backtracks))
+		gCacheHits.Add(int64(m.CandidateCacheHits))
+		gCacheMisses.Add(int64(m.CandidateCacheMisses))
+		for _, pt := range m.Phases {
+			gPhaseNanos.Add(string(pt.Phase), int64(pt.Duration))
+		}
 	}
-	if m.Canceled {
-		gCanceled.Add(1)
-	}
-	gSteps.Add(int64(m.Steps))
-	gBacktracks.Add(int64(m.Backtracks))
-	for _, pt := range m.Phases {
-		gPhaseNanos.Add(string(pt.Phase), int64(pt.Duration))
+	sinkMu.RLock()
+	defer sinkMu.RUnlock()
+	for _, fn := range sinks {
+		fn(m, err)
 	}
 }
 
@@ -44,9 +71,14 @@ func RecordGlobal(m *RunMetrics, err error) {
 // two Totals brackets a workload (cmd/divabench uses this to attribute phase
 // time to each experiment).
 type Totals struct {
-	Runs, Errors, Canceled int64
-	Steps, Backtracks      int64
-	PhaseNanos             map[Phase]int64
+	Runs       int64           `json:"runs"`
+	Errors     int64           `json:"errors,omitempty"`
+	Canceled   int64           `json:"canceled,omitempty"`
+	Steps      int64           `json:"steps"`
+	Backtracks int64           `json:"backtracks"`
+	CacheHits  int64           `json:"candidate_cache_hits"`
+	CacheMiss  int64           `json:"candidate_cache_misses"`
+	PhaseNanos map[Phase]int64 `json:"phase_nanos,omitempty"`
 }
 
 // GlobalTotals snapshots the process-wide registry.
@@ -57,6 +89,8 @@ func GlobalTotals() Totals {
 		Canceled:   gCanceled.Value(),
 		Steps:      gSteps.Value(),
 		Backtracks: gBacktracks.Value(),
+		CacheHits:  gCacheHits.Value(),
+		CacheMiss:  gCacheMisses.Value(),
 		PhaseNanos: make(map[Phase]int64),
 	}
 	gPhaseNanos.Do(func(kv expvar.KeyValue) {
@@ -65,6 +99,27 @@ func GlobalTotals() Totals {
 		}
 	})
 	return t
+}
+
+// Delta returns the counters accumulated since an earlier snapshot. Phases
+// with no accumulation are dropped from the result's PhaseNanos.
+func (t Totals) Delta(before Totals) Totals {
+	d := Totals{
+		Runs:       t.Runs - before.Runs,
+		Errors:     t.Errors - before.Errors,
+		Canceled:   t.Canceled - before.Canceled,
+		Steps:      t.Steps - before.Steps,
+		Backtracks: t.Backtracks - before.Backtracks,
+		CacheHits:  t.CacheHits - before.CacheHits,
+		CacheMiss:  t.CacheMiss - before.CacheMiss,
+		PhaseNanos: make(map[Phase]int64),
+	}
+	for ph, ns := range t.PhaseNanos {
+		if v := ns - before.PhaseNanos[ph]; v > 0 {
+			d.PhaseNanos[ph] = v
+		}
+	}
+	return d
 }
 
 // PhaseSecondsSince returns the per-phase seconds accumulated between an

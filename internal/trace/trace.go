@@ -66,6 +66,18 @@ const (
 	// KindWorkerWin reports that portfolio worker Event.N, running strategy
 	// Event.Strategy, produced the winning coloring.
 	KindWorkerWin
+	// KindProgress is a heartbeat from inside the coloring search, emitted
+	// every Options.HeartbeatEvery steps and once when the search finishes.
+	// Its Steps, Backtracks, Candidates, CacheHits and CacheMisses fields
+	// are the emitting search's cumulative counters at that instant (the
+	// final event therefore carries the search's exact totals), Depth is the
+	// number of nodes currently colored, and Worker identifies the emitting
+	// portfolio worker (−1 for a sequential search). Unlike the other
+	// per-step events, heartbeats are NOT suppressed for portfolio workers,
+	// so in portfolio mode a caller-supplied Tracer receives KindProgress
+	// events concurrently and must handle at least that kind in a
+	// goroutine-safe way (Recorder and WriterTracer both are).
+	KindProgress
 )
 
 // String names the event kind.
@@ -85,6 +97,8 @@ func (k EventKind) String() string {
 		return "cache-hit"
 	case KindWorkerWin:
 		return "worker-win"
+	case KindProgress:
+		return "progress"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -101,18 +115,29 @@ type Event struct {
 	// Node is the constraint-graph node index for KindAssign, KindBacktrack,
 	// KindCandidates and KindCacheHit.
 	Node int
-	// N is a kind-specific count: candidates enumerated, or the winning
-	// worker index for KindWorkerWin.
+	// N is a kind-specific count: candidates enumerated, the winning worker
+	// index for KindWorkerWin, or — for KindAssign/KindBacktrack — a batch
+	// size when a portfolio winner replays its per-node counts (0 means 1).
 	N int
 	// Strategy is the winning worker's strategy name for KindWorkerWin.
 	Strategy string
+	// Steps, Backtracks, Candidates, CacheHits and CacheMisses are the
+	// emitting search's cumulative counters, set for KindProgress.
+	Steps, Backtracks, Candidates, CacheHits, CacheMisses int
+	// Depth is the number of colored nodes at the heartbeat (KindProgress).
+	Depth int
+	// Worker is the emitting portfolio worker for KindProgress (−1 when the
+	// search runs sequentially).
+	Worker int
 }
 
 // Tracer observes run events. Implementations used with sequential runs are
-// called from a single goroutine; the engine never calls a caller-supplied
-// Tracer concurrently (portfolio workers run silent and only the coordinator
-// emits), so implementations need not be goroutine-safe unless shared across
-// separate Anonymize calls.
+// called from a single goroutine. In portfolio mode the per-step events stay
+// suppressed for workers and only the coordinator emits them, but
+// KindProgress heartbeats ARE forwarded from every worker concurrently:
+// implementations must handle KindProgress in a goroutine-safe way (or be
+// fully goroutine-safe, as Recorder and WriterTracer are) when used with
+// Options.Parallel > 0 or when shared across separate Anonymize calls.
 type Tracer interface {
 	Trace(Event)
 }
@@ -162,6 +187,9 @@ type PhaseTiming struct {
 // ErrNoDiverseClustering and ErrCanceled paths alike, so failed and canceled
 // runs still report where their time went.
 type RunMetrics struct {
+	// RunID identifies the run in the process-wide run registry (0 when the
+	// run never registered, e.g. a hand-built RunMetrics).
+	RunID uint64 `json:"run_id,omitempty"`
 	// Total is the wall time of the whole run.
 	Total time.Duration `json:"total_ns"`
 	// Phases holds completed phases in completion order. A canceled run
@@ -190,6 +218,13 @@ type RunMetrics struct {
 	// Canceled reports that the run ended with ErrCanceled (context
 	// cancellation or deadline expiry).
 	Canceled bool `json:"canceled"`
+	// SuppressedCells and Accuracy describe the published relation on
+	// successful runs: the number of suppressed QI cells (★s) and the
+	// fraction of QI cells preserved. Both are zero on error paths, where no
+	// relation is published; Accuracy is −1 there to distinguish "no output"
+	// from a fully suppressed one.
+	SuppressedCells int     `json:"suppressed_cells,omitempty"`
+	Accuracy        float64 `json:"accuracy,omitempty"`
 }
 
 // PhaseDuration sums the wall time recorded for ph (a phase may appear once
@@ -242,7 +277,15 @@ type Recorder struct {
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Trace implements Tracer.
+// Trace implements Tracer. Search-effort scalars (Steps, Backtracks,
+// CandidatesTried, cache hits/misses) are kept two ways: incrementally from
+// the per-step events (each KindAssign is one step, each KindCandidates one
+// cache miss of Event.N enumerated candidates, each KindCacheHit one hit),
+// and authoritatively from KindProgress snapshots, which overwrite the
+// running totals. The search emits a final KindProgress when it ends, so a
+// caller-supplied Recorder converges to exactly the engine-reported counters
+// (the incremental path alone undercounts shared-candidate consistency
+// checks, which have no per-step event).
 func (r *Recorder) Trace(ev Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -253,16 +296,41 @@ func (r *Recorder) Trace(ev Event) {
 		if r.m.NodeAssigns == nil {
 			r.m.NodeAssigns = make(map[int]int)
 		}
-		r.m.NodeAssigns[ev.Node]++
+		n := batch(ev.N)
+		r.m.NodeAssigns[ev.Node] += n
+		r.m.Steps += n
 	case KindBacktrack:
 		if r.m.NodeBacktracks == nil {
 			r.m.NodeBacktracks = make(map[int]int)
 		}
-		r.m.NodeBacktracks[ev.Node]++
+		n := batch(ev.N)
+		r.m.NodeBacktracks[ev.Node] += n
+		r.m.Backtracks += n
+	case KindCandidates:
+		r.m.CandidateCacheMisses++
+		r.m.CandidatesTried += ev.N
+	case KindCacheHit:
+		r.m.CandidateCacheHits++
+		r.m.CandidatesTried += ev.N
+	case KindProgress:
+		r.m.Steps = ev.Steps
+		r.m.Backtracks = ev.Backtracks
+		r.m.CandidatesTried = ev.Candidates
+		r.m.CandidateCacheHits = ev.CacheHits
+		r.m.CandidateCacheMisses = ev.CacheMisses
 	case KindWorkerWin:
 		r.m.WinnerWorker = ev.N
 		r.m.WinnerStrategy = ev.Strategy
 	}
+}
+
+// batch widens a per-node event into its replay batch size (0 means a single
+// live event).
+func batch(n int) int {
+	if n > 0 {
+		return n
+	}
+	return 1
 }
 
 // Snapshot returns a copy of the metrics aggregated so far. Map and slice
@@ -316,6 +384,12 @@ func (t *WriterTracer) Trace(ev Event) {
 		fmt.Fprintf(t.w, "trace %10s  phase %-11s end   %v\n", at.Round(time.Microsecond), ev.Phase, ev.Elapsed.Round(time.Microsecond))
 	case KindWorkerWin:
 		fmt.Fprintf(t.w, "trace %10s  portfolio worker %d (%s) won\n", at.Round(time.Microsecond), ev.N, ev.Strategy)
+	case KindProgress:
+		if !t.Verbose {
+			return
+		}
+		fmt.Fprintf(t.w, "trace %10s  progress steps=%d backtracks=%d depth=%d worker=%d\n",
+			at.Round(time.Microsecond), ev.Steps, ev.Backtracks, ev.Depth, ev.Worker)
 	default:
 		if !t.Verbose {
 			return

@@ -3,6 +3,7 @@ package trace
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -142,5 +143,138 @@ func TestGlobalRegistry(t *testing.T) {
 	}
 	if s := after.String(); !strings.Contains(s, "runs=") {
 		t.Fatalf("Totals.String() = %q", s)
+	}
+}
+
+// TestFormatPhaseSecondsGolden locks the edge cases of the phase formatter:
+// empty input, a single phase, and unknown phases sorting after known ones
+// in name order.
+func TestFormatPhaseSecondsGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		in   map[Phase]float64
+		want string
+	}{
+		{"empty", nil, ""},
+		{"single", map[Phase]float64{PhaseColor: 0.5}, "color=0.500s"},
+		{"unknown-sorted", map[Phase]float64{"zeta": 1, "alpha": 2},
+			"alpha=2.000s zeta=1.000s"},
+		{"mixed", map[Phase]float64{"custom": 3, PhaseBind: 1},
+			"bind=1.000s custom=3.000s"},
+	}
+	for _, c := range cases {
+		if got := FormatPhaseSeconds(c.in); got != c.want {
+			t.Fatalf("%s: FormatPhaseSeconds = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRunMetricsStringGolden locks the one-line run summary format.
+func TestRunMetricsStringGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		m    RunMetrics
+		want string
+	}{
+		{"minimal",
+			RunMetrics{Total: 1500 * time.Millisecond, Steps: 42, Backtracks: 7},
+			"total 1.5s steps=42 backtracks=7"},
+		{"phases-winner-canceled",
+			RunMetrics{
+				Total: 2500 * time.Millisecond,
+				Phases: []PhaseTiming{
+					{Phase: PhaseBind, Duration: 2 * time.Millisecond},
+					{Phase: PhaseColor, Duration: 5 * time.Millisecond},
+				},
+				Steps: 10, Backtracks: 2,
+				WinnerStrategy: "MaxFanOut", WinnerWorker: 1,
+				Canceled: true,
+			},
+			"total 2.5s bind=2ms color=5ms steps=10 backtracks=2 winner=MaxFanOut(worker 1) canceled"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Fatalf("%s: String() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRecorderSearchCounters covers the Recorder's dual bookkeeping: the
+// per-event aggregation (including batched portfolio replays via Event.N)
+// and the authoritative overwrite from a KindProgress snapshot.
+func TestRecorderSearchCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(Event{Kind: KindCandidates, Node: 1, N: 5})
+	r.Trace(Event{Kind: KindCacheHit, Node: 1, N: 5})
+	r.Trace(Event{Kind: KindAssign, Node: 1})
+	r.Trace(Event{Kind: KindAssign, Node: 2, N: 7}) // batched replay
+	r.Trace(Event{Kind: KindBacktrack, Node: 2, N: 3})
+	m := r.Snapshot()
+	if m.CandidateCacheMisses != 1 || m.CandidateCacheHits != 1 || m.CandidatesTried != 10 {
+		t.Fatalf("cache counters = %d/%d tried %d, want 1/1 tried 10",
+			m.CandidateCacheMisses, m.CandidateCacheHits, m.CandidatesTried)
+	}
+	if m.Steps != 8 || m.Backtracks != 3 {
+		t.Fatalf("steps/backtracks = %d/%d, want 8/3", m.Steps, m.Backtracks)
+	}
+	if m.NodeAssigns[2] != 7 || m.NodeBacktracks[2] != 3 {
+		t.Fatalf("batched node counts = %d/%d, want 7/3",
+			m.NodeAssigns[2], m.NodeBacktracks[2])
+	}
+	// A progress heartbeat carries the search's own cumulative counters and
+	// overwrites the incremental tallies.
+	r.Trace(Event{Kind: KindProgress, Steps: 100, Backtracks: 20,
+		Candidates: 400, CacheHits: 30, CacheMisses: 10})
+	m = r.Snapshot()
+	if m.Steps != 100 || m.Backtracks != 20 || m.CandidatesTried != 400 ||
+		m.CandidateCacheHits != 30 || m.CandidateCacheMisses != 10 {
+		t.Fatalf("after progress overwrite: %+v", m)
+	}
+}
+
+// TestTotalsDelta: Delta subtracts counters and keeps only phases that
+// advanced, giving per-experiment snapshots from the process-wide totals.
+func TestTotalsDelta(t *testing.T) {
+	before := GlobalTotals()
+	RecordGlobal(&RunMetrics{
+		Steps: 5, Backtracks: 2, CandidateCacheHits: 3, CandidateCacheMisses: 1,
+		Phases: []PhaseTiming{{Phase: PhaseSuppress, Duration: time.Second}},
+	}, nil)
+	d := GlobalTotals().Delta(before)
+	if d.Runs != 1 || d.Steps != 5 || d.Backtracks != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.CacheHits != 3 || d.CacheMiss != 1 {
+		t.Fatalf("delta cache = %d/%d, want 3/1", d.CacheHits, d.CacheMiss)
+	}
+	if d.PhaseNanos[PhaseSuppress] < int64(time.Second) {
+		t.Fatalf("delta phase nanos = %v", d.PhaseNanos)
+	}
+	for ph, ns := range d.PhaseNanos {
+		if ns == 0 {
+			t.Fatalf("zero-advance phase %q kept in delta", ph)
+		}
+	}
+}
+
+// TestRegisterSink: sinks registered on the global registry observe every
+// RecordGlobal call with the run's metrics and error.
+func TestRegisterSink(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	var lastErr error
+	RegisterSink(func(m *RunMetrics, err error) {
+		mu.Lock()
+		calls++
+		lastErr = err
+		mu.Unlock()
+	})
+	RecordGlobal(&RunMetrics{Steps: 1}, nil)
+	sinkErr := errors.New("sink sees the error")
+	RecordGlobal(nil, sinkErr)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 || lastErr != sinkErr {
+		t.Fatalf("sink calls = %d, lastErr = %v", calls, lastErr)
 	}
 }
