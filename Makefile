@@ -8,7 +8,14 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare obs-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare obs-smoke verify fuzz-smoke ci
+
+# Minimum statement coverage for the verification subsystem itself — the
+# checker that everything else leans on must stay tested.
+VERIFY_COVER_FLOOR ?= 70
+
+# Wall-clock budget for each fuzz target in fuzz-smoke.
+FUZZTIME ?= 30s
 
 all: ci
 
@@ -96,4 +103,26 @@ obs-smoke:
 	[ -s $$tmp/out.csv ] || { echo "obs-smoke: empty anonymized output"; exit 1; }; \
 	echo "obs-smoke: ok (scraped http://$$addr)"
 
-ci: fmt-check vet build test race obs-smoke
+# verify runs the differential-verification subsystem as its own gate: the
+# invariant checker and brute-force oracle unit tests, the differential and
+# metamorphic harnesses (several hundred micro-instances against the oracle),
+# a fuzz smoke over the end-to-end CSV→anonymize path, all under -race, with
+# go vet and a coverage floor on internal/verify. Seed with
+# DIVA_TEST_SEED=<n> to reproduce a reported failure.
+verify:
+	$(GO) vet ./internal/verify/
+	$(GO) test -race -coverprofile=/tmp/verify_cover.out ./internal/verify/
+	@pct=$$($(GO) tool cover -func=/tmp/verify_cover.out | \
+		awk '/^total:/ {sub(/%/, "", $$NF); print $$NF}'); \
+	echo "internal/verify coverage: $$pct% (floor $(VERIFY_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(VERIFY_COVER_FLOOR))}" || { \
+		echo "verify: coverage $$pct% below floor $(VERIFY_COVER_FLOOR)%"; exit 1; }
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each fuzz target for a bounded wall-clock slice, starting
+# from the checked-in corpora under internal/verify/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
+	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
+
+ci: fmt-check vet build test race verify obs-smoke

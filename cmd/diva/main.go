@@ -39,7 +39,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -63,7 +62,7 @@ func main() {
 		strategy    = flag.String("strategy", "MaxFanOut", "node-selection strategy: Basic, MinChoice or MaxFanOut")
 		seed        = flag.Uint64("seed", 1, "random seed for reproducible runs")
 		baseline    = flag.String("baseline", "k-member", "off-the-shelf anonymizer: k-member, oka or mondrian")
-		verify      = flag.Bool("verify", false, "re-check the output (k-anonymity, R ⊑ R', Σ) before printing")
+		verifyFlag  = flag.Bool("verify", false, "re-check every published relation (k-anonymity, R ⊑ R', Σ, l-diversity, ★ accounting) before printing")
 		stats       = flag.Bool("stats", false, "print metrics to stderr")
 		ldiv        = flag.Int("ldiversity", 0, "additionally require distinct l-diversity with this l (0 = off)")
 		parallel    = flag.Int("parallel", 0, "run this many concurrent coloring searches (0 = sequential)")
@@ -158,9 +157,6 @@ func main() {
 		tracers = append(tracers, obs.NewSlogTracer(logger))
 	}
 	opts.Tracer = trace.Tee(tracers...)
-	if hs != nil && *verify {
-		fatal(errors.New("-verify checks the strict R ⊑ R' relation, which generalized outputs do not satisfy; drop -verify or -hierarchy"))
-	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -169,11 +165,22 @@ func main() {
 		defer cancel()
 	}
 
+	vopts := diva.ValidateOptions{
+		LDiversity: *ldiv,
+		// Generalized outputs hold ancestor labels rather than original
+		// values or ★, so strict containment cannot hold; the remaining
+		// checks (k-anonymity, Σ, l-diversity) still apply.
+		SkipContainment: hs != nil,
+	}
+
 	var out *diva.Relation
 	if len(sigma) == 0 {
 		out, err = diva.AnonymizeBaselineContext(ctx, rel, bl, opts)
 		if err != nil {
 			fatal(err)
+		}
+		if *verifyFlag {
+			verifyOutput(rel, out, nil, *k, vopts)
 		}
 	} else {
 		if logger != nil {
@@ -214,10 +221,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *verify {
-			if err := diva.Verify(rel, res, sigma, *k); err != nil {
-				fatal(err)
+		if *verifyFlag {
+			vo := vopts
+			if res.Metrics != nil {
+				vo.CheckStars = true
+				vo.Stars = res.Metrics.SuppressedCells
 			}
+			verifyOutput(rel, res.Output, sigma, *k, vo)
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "coloring: %d steps, %d backtracks; integrate repaired %d cells\n",
@@ -254,6 +264,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "diva:", err)
 	os.Exit(1)
+}
+
+// verifyOutput re-checks a published relation against every invariant the
+// engine promises and exits nonzero with the full violation list if any is
+// broken; on success it confirms on stderr what was checked.
+func verifyOutput(orig, out *diva.Relation, sigma diva.Constraints, k int, opts diva.ValidateOptions) {
+	rep := diva.ValidateOutput(orig, out, sigma, k, opts)
+	if err := rep.Err(); err != nil {
+		fatal(err)
+	}
+	note := ""
+	if opts.SkipContainment {
+		note = " (containment skipped: generalized output)"
+	}
+	fmt.Fprintf(os.Stderr, "diva: verify ok: %d suppressed cells across %d QI-groups%s\n",
+		rep.Stars, rep.Groups, note)
 }
 
 // dumpPhases prints the per-phase wall-time breakdown; the phases cover the

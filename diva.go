@@ -63,6 +63,7 @@ import (
 	"diva/internal/relation"
 	"diva/internal/search"
 	"diva/internal/trace"
+	"diva/internal/verify"
 )
 
 // Re-exported relational substrate types. See the internal/relation package
@@ -436,9 +437,55 @@ func (e *UnknownBaselineError) Error() string {
 }
 
 // Verify checks that res is a valid (k, Σ)-anonymization of orig: R ⊑ R′
-// up to reordering, k-anonymity, and R′ |= Σ.
+// up to reordering, k-anonymity, and R′ |= Σ — plus exact suppressed-cell
+// accounting when res carries RunMetrics. For the full report (every
+// violation, not just the first) use ValidateOutput.
 func Verify(orig *Relation, res *Result, sigma Constraints, k int) error {
 	return core.Verify(orig, res, sigma, k)
+}
+
+// ValidationReport is the outcome of ValidateOutput: every violated
+// invariant, plus the measured suppressed-cell and QI-group counts. See the
+// internal verify package for the full documentation.
+type ValidationReport = verify.Report
+
+// ValidationViolation is one broken invariant in a ValidationReport.
+type ValidationViolation = verify.Violation
+
+// ValidateOptions configures ValidateOutput.
+type ValidateOptions struct {
+	// LDiversity, when ≥ 2, additionally requires distinct l-diversity on
+	// every QI-group of the output.
+	LDiversity int
+	// SkipContainment skips the strict R ⊑ R′ check. Outputs rendered with
+	// generalization hierarchies hold ancestor labels instead of original
+	// values or ★, so they fail strict containment by design; skip it for
+	// those and rely on the remaining checks.
+	SkipContainment bool
+	// CheckStars, when true, requires the output's measured suppressed-QI-
+	// cell count to equal Stars.
+	CheckStars bool
+	// Stars is the claimed suppressed-cell count checked under CheckStars.
+	Stars int
+}
+
+// ValidateOutput runs the engine-independent invariant checker on a
+// published relation: cardinality and schema preservation, R ⊑ R′ (cells
+// change only to ★, up to tuple reordering), k-anonymity of every QI-group,
+// satisfaction of every constraint's [λl, λr] bounds, optional distinct
+// l-diversity, and suppression accounting. It reports every violation found
+// rather than stopping at the first, which is what `diva -verify` prints
+// and what the differential test harness asserts on.
+func ValidateOutput(orig, out *Relation, sigma Constraints, k int, opts ValidateOptions) *ValidationReport {
+	vo := verify.Options{
+		SkipContainment: opts.SkipContainment,
+		CheckStars:      opts.CheckStars,
+		Stars:           opts.Stars,
+	}
+	if opts.LDiversity >= 2 {
+		vo.Criterion = privacy.DistinctLDiversity{L: opts.LDiversity}
+	}
+	return verify.ValidateOutput(orig, out, sigma, k, vo)
 }
 
 // IsKAnonymous reports whether every tuple lies in a QI-group of ≥ k tuples.

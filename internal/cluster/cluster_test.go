@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"math/rand/v2"
+	"diva/internal/testutil"
 	"strconv"
 	"testing"
 
@@ -285,7 +285,7 @@ func TestCandidatesMixedTargetInfeasible(t *testing.T) {
 // Property: on random relations and random feasible constraints, every
 // candidate satisfies the Clusterings contract.
 func TestCandidatesContractProperty(t *testing.T) {
-	rng := rand.New(rand.NewPCG(13, 37))
+	rng := testutil.Rng(t)
 	schema := relation.MustSchema(
 		relation.Attribute{Name: "A", Role: relation.QI},
 		relation.Attribute{Name: "B", Role: relation.QI},

@@ -58,6 +58,68 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorDetails pins the diagnostic for each malformed-input class,
+// so a parser rewrite cannot silently start accepting bad constraints or
+// reporting the wrong problem.
+func TestParseErrorDetails(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error message
+	}{
+		{"empty line", "", "missing bounds"},
+		{"missing bounds", "ETH[Asian]", "missing bounds"},
+		{"one bound only", "ETH[Asian], 2", "missing lower bound"},
+		{"non-numeric lower", "ETH[Asian], x, 5", `bad lower bound "x"`},
+		{"non-numeric upper", "ETH[Asian], 2, y", `bad upper bound "y"`},
+		{"float lower", "ETH[Asian], 1.5, 3", "bad lower bound"},
+		{"no brackets", "ETHAsian, 2, 5", "want ATTR[value]"},
+		{"empty attribute", "[Asian], 2, 5", "want ATTR[value]"},
+		{"unclosed bracket", "ETH[Asian, 2, 5", "unclosed '['"},
+		{"junk after target", "A[x] junk, 0, 2", "want ATTR[value]"},
+		{"duplicate attribute", "A[x] A[y], 1, 2", `duplicate target attribute "A"`},
+		{"star target", "A[*], 0, 2", "suppression marker"},
+		{"negative lower", "ETH[Asian], -1, 2", "negative lower bound"},
+		{"inverted bounds", "ETH[Asian], 5, 2", "upper bound 2 below lower bound 5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) = %q, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSetErrorDetails checks that set-level failures point at the
+// offending line or constraint pair.
+func TestParseSetErrorDetails(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"bad line is numbered", "ETH[Asian], 2, 5\ngarbage\n", "line 2"},
+		{"duplicate targets", "ETH[Asian], 2, 5\n# comment\nETH[Asian], 1, 2\n", "duplicates target"},
+		{"comment lines do not shift numbering", "# leading comment\nnope\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSet(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseSet(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseSet(%q) = %q, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
 // Property: String() output re-parses to an identical constraint for values
 // without the characters the syntax reserves.
 func TestParseRoundTripProperty(t *testing.T) {

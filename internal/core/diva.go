@@ -23,6 +23,7 @@ import (
 	"diva/internal/relation"
 	"diva/internal/search"
 	"diva/internal/trace"
+	"diva/internal/verify"
 )
 
 // ErrNoDiverseClustering is returned when no k-anonymous relation
@@ -440,6 +441,14 @@ func RunBaseline(ctx context.Context, rel *relation.Relation, p anon.Partitioner
 // number of cells suppressed. Lower bounds cannot be violated at this
 // point: RΣ alone preserves at least λl occurrences of every searchable
 // constraint and repairs only ever remove occurrences contributed by Rk.
+// Rk-only repair always suffices when the coloring accepted the clustering:
+// the search's consistency check (Section 3.2, condition 2) guarantees RΣ
+// alone never exceeds an upper bound, so the excess is at most Rk's
+// contribution. That same check makes the engine deliberately conservative —
+// a cluster preserving one constraint's target may not overflow another's
+// upper bound even where post-hoc suppression could repair it; see
+// "Completeness envelope" in internal/verify for the differential-test
+// contract this implies.
 func integrate(diverse, rest *relation.Relation, bounds []*constraint.Bound, schema *relation.Schema) (int, error) {
 	repaired := 0
 	for _, b := range bounds {
@@ -515,23 +524,20 @@ func allRows(rel *relation.Relation) []int {
 }
 
 // Verify checks the three output conditions of Definition 2.4 on a result:
-// R ⊑ R′ (up to reordering), k-anonymity, and R′ |= Σ. It is used by tests
-// and the CLI's --verify flag; it is O(n²) in the worst case because of the
-// suppression matching and is not meant for hot paths. Results produced
-// with Options.Hierarchies fail the R ⊑ R′ check by design (generalized
-// cells hold ancestors, not the original value or ★); verify those with
-// metrics.IsKAnonymous and Set.SatisfiedBy directly.
+// R ⊑ R′ (up to reordering), k-anonymity, and R′ |= Σ — plus, when the
+// result carries RunMetrics, exact suppressed-cell accounting. It delegates
+// to verify.ValidateOutput, the engine-independent invariant checker, and is
+// used by tests and the CLI's --verify flag; it is O(n²) in the worst case
+// because of the suppression matching and is not meant for hot paths.
+// Results produced with Options.Hierarchies fail the R ⊑ R′ check by design
+// (generalized cells hold ancestors, not the original value or ★); verify
+// those with verify.Options.SkipContainment, or with metrics.IsKAnonymous
+// and Set.SatisfiedBy directly.
 func Verify(orig *relation.Relation, res *Result, sigma constraint.Set, k int) error {
-	if !metrics.IsKAnonymous(res.Output, k) {
-		return fmt.Errorf("diva: output is not %d-anonymous (smallest QI-group has %d tuples)", k, metrics.SmallestQIGroup(res.Output))
+	opts := verify.Options{}
+	if res.Metrics != nil {
+		opts.CheckStars = true
+		opts.Stars = res.Metrics.SuppressedCells
 	}
-	ok, err := sigma.SatisfiedBy(res.Output)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		viol, _ := sigma.Violations(res.Output)
-		return fmt.Errorf("diva: output violates constraints: %v", viol)
-	}
-	return metrics.VerifySuppressionOf(orig, res.Output)
+	return verify.ValidateOutput(orig, res.Output, sigma, k, opts).Err()
 }

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math/rand/v2"
+
+	"diva/internal/testutil"
 	"strconv"
 	"testing"
 	"testing/quick"
@@ -177,7 +179,7 @@ func TestSummarize(t *testing.T) {
 // indistinguishable from at least k tuples including itself... each group
 // of size g ≥ k contributes g² ≥ g·k).
 func TestDiscernibilityLowerBoundProperty(t *testing.T) {
-	rng := rand.New(rand.NewPCG(8, 15))
+	rng := testutil.Rng(t)
 	for trial := 0; trial < 60; trial++ {
 		rel := relation.New(twoAttrSchema())
 		k := 1 + rng.IntN(4)

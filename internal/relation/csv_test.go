@@ -127,3 +127,62 @@ func TestReadAnnotatedCSVBadRow(t *testing.T) {
 		t.Fatal("short row accepted")
 	}
 }
+
+// TestReadAnnotatedCSVErrorDetails pins the diagnostic for each class of
+// malformed input, so loader rewrites keep pointing at the right line and
+// problem.
+func TestReadAnnotatedCSVErrorDetails(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error message
+	}{
+		{"empty input", "", "reading CSV header"},
+		{"unannotated header", "GEN,CTY\nM,Calgary\n", "want name:role[:kind]"},
+		{"unknown role", "GEN:wizard\nM\n", `unknown role "wizard"`},
+		{"unknown kind", "AGE:qi:quantum\n30\n", `unknown kind "quantum"`},
+		{"ragged short row", "A:qi,B:qi\n1,2\n3\n", "line 3"},
+		{"ragged long row", "A:qi,B:qi\n1,2\n3,4,5\n", "line 3"},
+		{"bare quote in data", "A:qi,B:qi\n\"x,2\n", "line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadAnnotatedCSV(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ReadAnnotatedCSV(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadAnnotatedCSV(%q) = %q, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadCSVErrorDetails does the same for the schema-driven loader.
+func TestReadCSVErrorDetails(t *testing.T) {
+	schema := MustSchema(
+		Attribute{Name: "A", Role: QI},
+		Attribute{Name: "B", Role: Sensitive},
+	)
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty input", "", "reading CSV header"},
+		{"missing column", "A,EXTRA\n1,x\n", `missing attribute "B"`},
+		{"ragged short row", "A,B\n1,2\n3\n", "line 3"},
+		{"ragged long row", "A,B\n1,2\n3,4,5\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.in), schema)
+			if err == nil {
+				t.Fatalf("ReadCSV(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadCSV(%q) = %q, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}

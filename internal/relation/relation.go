@@ -142,6 +142,12 @@ func (r *Relation) Suppress(i, attr int) { r.rows[i][attr] = StarCode }
 // IsSuppressed reports whether cell (i, attr) holds the suppression marker.
 func (r *Relation) IsSuppressed(i, attr int) bool { return r.rows[i][attr] == StarCode }
 
+// Truncate discards all tuples, keeping the schema, dictionaries and row
+// storage capacity. It lets enumeration loops (e.g. the brute-force verifier)
+// rebuild candidate outputs without reallocating; codes already issued stay
+// valid.
+func (r *Relation) Truncate() { r.rows = r.rows[:0] }
+
 // Clone returns a deep copy of the relation: dictionaries are shared (they
 // are append-only), rows are copied.
 func (r *Relation) Clone() *Relation {

@@ -1,7 +1,7 @@
 package relation
 
 import (
-	"math/rand/v2"
+	"diva/internal/testutil"
 	"reflect"
 	"strconv"
 	"testing"
@@ -324,7 +324,7 @@ func TestSameOn(t *testing.T) {
 // Property: GroupBy partitions rows — every row appears in exactly one
 // group, and all rows in a group agree on the grouping attributes.
 func TestGroupByPartitionProperty(t *testing.T) {
-	rng := rand.New(rand.NewPCG(1, 2))
+	rng := testutil.Rng(t)
 	for trial := 0; trial < 50; trial++ {
 		r := New(testSchema())
 		n := 1 + rng.IntN(60)

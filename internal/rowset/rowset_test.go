@@ -1,7 +1,7 @@
 package rowset
 
 import (
-	"math/rand/v2"
+	"diva/internal/testutil"
 	"sort"
 	"testing"
 )
@@ -62,7 +62,7 @@ func check(t *testing.T, s *Set, m model) {
 // map model.
 func TestSetAgainstModel(t *testing.T) {
 	const n = 300
-	rng := rand.New(rand.NewPCG(7, 9))
+	rng := testutil.Rng(t)
 	s := New(n)
 	m := model{}
 	for step := 0; step < 5000; step++ {
@@ -90,7 +90,7 @@ func TestSetAgainstModel(t *testing.T) {
 // Difference, Clone, CopyFrom, Clear) against the model.
 func TestSetAlgebraAgainstModel(t *testing.T) {
 	const n = 257 // off word boundary on purpose
-	rng := rand.New(rand.NewPCG(3, 5))
+	rng := testutil.Rng(t)
 	randomPair := func() (*Set, model) {
 		s, m := New(n), model{}
 		for k := 0; k < rng.IntN(2*n); k++ {
@@ -173,7 +173,7 @@ func TestSetAlgebraAgainstModel(t *testing.T) {
 // word-level operations.
 func TestFingerprintIncrementalMatchesRecomputed(t *testing.T) {
 	const n = 500
-	rng := rand.New(rand.NewPCG(11, 13))
+	rng := testutil.Rng(t)
 	a, b := New(n), New(n)
 	for k := 0; k < 400; k++ {
 		a.Add(rng.IntN(n))

@@ -1,0 +1,43 @@
+// Package testutil centralizes test randomness. Every randomized test in
+// this repository draws its generator from Rng, which seeds from the
+// DIVA_TEST_SEED environment variable (default 1) and logs the seed through
+// the test, so any randomized failure — differential, metamorphic,
+// property-based — is reproducible with
+//
+//	DIVA_TEST_SEED=<seed from the failure log> go test ./...
+package testutil
+
+import (
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// EnvSeed is the environment variable overriding the test seed.
+const EnvSeed = "DIVA_TEST_SEED"
+
+// Seed returns the run's test seed — DIVA_TEST_SEED when set, 1 otherwise —
+// and logs it so a failing run prints how to reproduce itself.
+func Seed(t testing.TB) uint64 {
+	t.Helper()
+	seed := uint64(1)
+	if s := os.Getenv(EnvSeed); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("invalid %s=%q: %v", EnvSeed, s, err)
+		}
+		seed = v
+	}
+	t.Logf("%s=%d (export to reproduce)", EnvSeed, seed)
+	return seed
+}
+
+// Rng returns a reproducible generator seeded from Seed(t). Each call
+// returns a fresh generator with the same stream, so a test that needs
+// several independent streams should derive them with rng.Uint64().
+func Rng(t testing.TB) *rand.Rand {
+	t.Helper()
+	seed := Seed(t)
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,27 @@
+package testutil
+
+import "testing"
+
+func TestSeedDefault(t *testing.T) {
+	t.Setenv(EnvSeed, "")
+	if got := Seed(t); got != 1 {
+		t.Fatalf("default seed = %d, want 1", got)
+	}
+}
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv(EnvSeed, "12345")
+	if got := Seed(t); got != 12345 {
+		t.Fatalf("seed = %d, want 12345", got)
+	}
+}
+
+func TestRngReproducible(t *testing.T) {
+	t.Setenv(EnvSeed, "7")
+	a, b := Rng(t), Rng(t)
+	for i := 0; i < 16; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d — Rng is not a pure function of the seed", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package verify
+
+import (
+	"testing"
+
+	"diva/internal/constraint"
+	"diva/internal/privacy"
+	"diva/internal/relation"
+	"diva/internal/testutil"
+)
+
+func solve(t *testing.T, rel *relation.Relation, sigma constraint.Set, k int, opts BruteForceOptions) *Solution {
+	t.Helper()
+	sol, err := BruteForce(rel, sigma, k, opts)
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
+	return sol
+}
+
+func TestBruteForceTrivial(t *testing.T) {
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "cold"},
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "asthma"},
+	)
+	sol := solve(t, rel, nil, 2, BruteForceOptions{})
+	if !sol.Feasible || sol.Stars != 0 {
+		t.Fatalf("uniform relation: got %+v, want feasible with 0 stars", sol)
+	}
+}
+
+func TestBruteForceTwoGroups(t *testing.T) {
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "cold"},
+		[3]string{"F", "Toronto", "flu"},
+		[3]string{"F", "Toronto", "cold"},
+	)
+	sol := solve(t, rel, nil, 2, BruteForceOptions{})
+	if !sol.Feasible || sol.Stars != 0 || len(sol.Partition) != 2 {
+		t.Fatalf("two natural groups: got %+v, want feasible, 0 stars, 2 blocks", sol)
+	}
+}
+
+func TestBruteForceForcedMerge(t *testing.T) {
+	// No pair of rows agrees everywhere; k=2 over 3 rows forces one block of
+	// 3 suppressing both QI attributes: 6 stars.
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Toronto", "cold"},
+		[3]string{"F", "Toronto", "flu"},
+	)
+	sol := solve(t, rel, nil, 2, BruteForceOptions{})
+	if !sol.Feasible || sol.Stars != 6 {
+		t.Fatalf("forced merge: got feasible=%v stars=%d, want 6 stars", sol.Feasible, sol.Stars)
+	}
+}
+
+func TestBruteForcePartialAgreement(t *testing.T) {
+	// The two rows agree on GEN, disagree on CTY: one block of 2 suppresses
+	// CTY only — 2 stars.
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Toronto", "cold"},
+	)
+	sol := solve(t, rel, nil, 2, BruteForceOptions{})
+	if !sol.Feasible || sol.Stars != 2 {
+		t.Fatalf("partial agreement: got feasible=%v stars=%d, want 2 stars", sol.Feasible, sol.Stars)
+	}
+}
+
+func TestBruteForceUpperBoundForcesExtraSuppression(t *testing.T) {
+	// Three identical rows and λr=1 on CTY[Vancouver]: the only way down is
+	// extra whole-block suppression of CTY. With k=1, singleton blocks let
+	// exactly two rows lose CTY: 2 stars.
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "cold"},
+		[3]string{"M", "Vancouver", "flu"},
+	)
+	sigma := constraint.Set{constraint.New("CTY", "Vancouver", 0, 1)}
+	sol := solve(t, rel, sigma, 1, BruteForceOptions{})
+	if !sol.Feasible || sol.Stars != 2 {
+		t.Fatalf("upper-bound repair: got feasible=%v stars=%d, want 2 stars", sol.Feasible, sol.Stars)
+	}
+	if rep := ValidateOutput(rel, sol.Output, sigma, 1, Options{CheckStars: true, Stars: sol.Stars}); !rep.OK() {
+		t.Fatalf("witness output invalid: %v", rep.Err())
+	}
+}
+
+func TestBruteForceLowerBoundInfeasible(t *testing.T) {
+	rel := demoRel([3]string{"M", "Vancouver", "flu"})
+	sigma := constraint.Set{constraint.New("CTY", "Vancouver", 2, 4)}
+	sol := solve(t, rel, sigma, 1, BruteForceOptions{})
+	if sol.Feasible {
+		t.Fatalf("λl above R's own count must be infeasible, got %+v", sol)
+	}
+}
+
+func TestBruteForceLowerBoundVsKAnonymity(t *testing.T) {
+	// GEN[M] must keep its single occurrence, but 2-anonymity forces the two
+	// rows into one block that disagrees on GEN — suppressing it. Infeasible.
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"F", "Vancouver", "cold"},
+	)
+	sigma := constraint.Set{constraint.New("GEN", "M", 1, 1)}
+	sol := solve(t, rel, sigma, 2, BruteForceOptions{})
+	if sol.Feasible {
+		t.Fatalf("clash between λl and k-anonymity must be infeasible, got stars=%d", sol.Stars)
+	}
+	if sol2 := solve(t, rel, sigma, 1, BruteForceOptions{}); !sol2.Feasible || sol2.Stars != 0 {
+		t.Fatalf("same instance at k=1: got feasible=%v stars=%d, want 0 stars", sol2.Feasible, sol2.Stars)
+	}
+}
+
+func TestBruteForceSensitiveCountsInvariant(t *testing.T) {
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "cold"},
+	)
+	// DIAG occurrences cannot change under suppression: bounds covering the
+	// actual count are free, bounds excluding it are infeasible.
+	if sol := solve(t, rel, constraint.Set{constraint.New("DIAG", "flu", 2, 2)}, 3, BruteForceOptions{}); !sol.Feasible || sol.Stars != 0 {
+		t.Fatalf("matching sensitive bound: got feasible=%v stars=%d, want 0 stars", sol.Feasible, sol.Stars)
+	}
+	if sol := solve(t, rel, constraint.Set{constraint.New("DIAG", "flu", 0, 1)}, 3, BruteForceOptions{}); sol.Feasible {
+		t.Fatal("sensitive upper bound below the count must be infeasible")
+	}
+}
+
+func TestBruteForceEdgeSizes(t *testing.T) {
+	empty := demoRel()
+	if sol := solve(t, empty, nil, 2, BruteForceOptions{}); !sol.Feasible || sol.Stars != 0 {
+		t.Fatalf("empty relation: got %+v, want trivially feasible", sol)
+	}
+	one := demoRel([3]string{"M", "Vancouver", "flu"})
+	if sol := solve(t, one, nil, 2, BruteForceOptions{}); sol.Feasible {
+		t.Fatal("fewer rows than k must be infeasible")
+	}
+	if _, err := BruteForce(one, nil, 0, BruteForceOptions{}); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	big := demoRel()
+	for i := 0; i < DefaultMaxRows+1; i++ {
+		big.MustAppendValues("M", "Vancouver", "flu")
+	}
+	if _, err := BruteForce(big, nil, 2, BruteForceOptions{}); err == nil {
+		t.Fatal("oversized instance must be rejected, not solved")
+	}
+	if _, err := BruteForce(big, nil, 2, BruteForceOptions{MaxRows: DefaultMaxRows + 1}); err != nil {
+		t.Fatalf("raised MaxRows rejected: %v", err)
+	}
+}
+
+func TestBruteForceIdentifierSuppressed(t *testing.T) {
+	rel := relation.New(relation.MustSchema(
+		relation.Attribute{Name: "GEN", Role: relation.QI},
+		relation.Attribute{Name: "DIAG", Role: relation.Sensitive},
+		relation.Attribute{Name: "SSN", Role: relation.Identifier},
+	))
+	rel.MustAppendValues("M", "flu", "id-0")
+	rel.MustAppendValues("M", "cold", "id-1")
+	sol := solve(t, rel, nil, 2, BruteForceOptions{})
+	if !sol.Feasible || sol.Stars != 0 {
+		t.Fatalf("got feasible=%v stars=%d, want 0 stars (identifiers don't count)", sol.Feasible, sol.Stars)
+	}
+	for i := 0; i < sol.Output.Len(); i++ {
+		if !sol.Output.IsSuppressed(i, 2) {
+			t.Fatalf("row %d kept its identifier: %v", i, sol.Output.Values(i))
+		}
+	}
+	if rep := ValidateOutput(rel, sol.Output, nil, 2, Options{}); !rep.OK() {
+		t.Fatalf("witness output invalid: %v", rep.Err())
+	}
+}
+
+func TestBruteForceCriterion(t *testing.T) {
+	// Without l-diversity the two natural uniform groups win with 0 stars;
+	// distinct 2-diversity forces the four rows into one merged block.
+	rel := demoRel(
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"M", "Vancouver", "flu"},
+		[3]string{"F", "Toronto", "cold"},
+		[3]string{"F", "Toronto", "cold"},
+	)
+	plain := solve(t, rel, nil, 2, BruteForceOptions{})
+	if !plain.Feasible || plain.Stars != 0 {
+		t.Fatalf("without criterion: got %+v, want 0 stars", plain)
+	}
+	ldiv := solve(t, rel, nil, 2, BruteForceOptions{Criterion: privacy.DistinctLDiversity{L: 2}})
+	if !ldiv.Feasible || ldiv.Stars != 8 {
+		t.Fatalf("with 2-diversity: got feasible=%v stars=%d, want one merged block with 8 stars", ldiv.Feasible, ldiv.Stars)
+	}
+}
+
+// TestBruteForceWitnessAlwaysValidates is the oracle's self-consistency
+// property: on random micro-instances, every feasible verdict must come with
+// a witness output that the independent checker accepts, star accounting
+// included.
+func TestBruteForceWitnessAlwaysValidates(t *testing.T) {
+	rng := testutil.Rng(t)
+	feasible := 0
+	for id := 0; id < 150; id++ {
+		inst := RandomInstance(rng, id, true)
+		sol, err := BruteForce(inst.Rel, inst.Sigma, inst.K, BruteForceOptions{Criterion: inst.Criterion()})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		if !sol.Feasible {
+			continue
+		}
+		feasible++
+		rep := ValidateOutput(inst.Rel, sol.Output, inst.Sigma, inst.K, Options{
+			Criterion:  inst.Criterion(),
+			CheckStars: true,
+			Stars:      sol.Stars,
+		})
+		if !rep.OK() {
+			t.Errorf("%s: witness output fails validation: %v", inst, rep.Err())
+		}
+		size := 0
+		for _, block := range sol.Partition {
+			if len(block) < inst.K {
+				t.Errorf("%s: witness block %v smaller than k=%d", inst, block, inst.K)
+			}
+			size += len(block)
+		}
+		if size != inst.Rel.Len() {
+			t.Errorf("%s: witness partition covers %d of %d rows", inst, size, inst.Rel.Len())
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible instance generated — generator is broken")
+	}
+	t.Logf("%d feasible instances validated", feasible)
+}

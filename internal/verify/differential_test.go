@@ -1,0 +1,216 @@
+package verify_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"diva"
+	"diva/internal/testutil"
+	"diva/internal/verify"
+)
+
+var allStrategies = []diva.Strategy{diva.Basic, diva.MinChoice, diva.MaxFanOut}
+
+func strategyName(s diva.Strategy) string {
+	return [...]string{"Basic", "MinChoice", "MaxFanOut"}[s]
+}
+
+// runDiva runs the engine on an instance and classifies the outcome:
+// (validated result, feasible). Any error other than ErrNoDiverseClustering,
+// and any published output the independent checker rejects, fails the test.
+func runDiva(t *testing.T, inst verify.Instance, strat diva.Strategy, seed uint64) (*diva.Result, bool) {
+	t.Helper()
+	res, err := diva.AnonymizeContext(context.Background(), inst.Rel, inst.Sigma, diva.Options{
+		K:             inst.K,
+		Strategy:      strat,
+		Seed:          seed,
+		MaxCandidates: 256,
+		LDiversity:    inst.LDiversity,
+	})
+	if err != nil {
+		if !errors.Is(err, diva.ErrNoDiverseClustering) {
+			t.Errorf("%s/%s: unexpected engine error class: %v", inst, strategyName(strat), err)
+		}
+		return nil, false
+	}
+	rep := verify.ValidateOutput(inst.Rel, res.Output, inst.Sigma, inst.K, verify.Options{
+		Criterion:  inst.Criterion(),
+		CheckStars: true,
+		Stars:      res.Metrics.SuppressedCells,
+	})
+	if !rep.OK() {
+		t.Errorf("%s/%s: published output violates invariants: %v", inst, strategyName(strat), rep.Err())
+	}
+	return res, true
+}
+
+// TestDifferentialAgainstOracle is the tentpole harness: hundreds of random
+// micro-instances, each solved exactly by the brute-force oracle and then by
+// DIVA under every strategy. Every engine success must validate against the
+// independent checker and can never beat the oracle's optimum; every engine
+// failure must be a proven-infeasible instance. (Criterion-free instances
+// only: under l-diversity the greedy baselines are knowingly incomplete, so
+// the engine may miss feasible instances — that looser contract is covered
+// by TestDifferentialLDiversity.)
+func TestDifferentialAgainstOracle(t *testing.T) {
+	rng := testutil.Rng(t)
+	runs, feasible := 0, 0
+	for id := 0; id < 80; id++ {
+		inst := verify.RandomInstance(rng, id, false)
+		oracle, err := verify.BruteForce(inst.Rel, inst.Sigma, inst.K, verify.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		if oracle.Feasible {
+			feasible++
+		}
+		for _, strat := range allStrategies {
+			runs++
+			res, ok := runDiva(t, inst, strat, rng.Uint64())
+			if ok != oracle.Feasible {
+				t.Errorf("%s/%s: engine feasible=%v but oracle proved feasible=%v (optimum %d stars)",
+					inst, strategyName(strat), ok, oracle.Feasible, oracle.Stars)
+				continue
+			}
+			if ok && res.Metrics.SuppressedCells < oracle.Stars {
+				t.Errorf("%s/%s: engine claims %d stars, below the proven optimum %d — oracle or checker bug",
+					inst, strategyName(strat), res.Metrics.SuppressedCells, oracle.Stars)
+			}
+		}
+		if t.Failed() {
+			t.FailNow() // one broken instance is enough signal; don't flood
+		}
+	}
+	if runs < 200 {
+		t.Fatalf("harness ran %d instance-strategy pairs, want ≥ 200", runs)
+	}
+	if feasible == 0 || feasible == 80 {
+		t.Fatalf("generator degenerate: %d/80 instances feasible", feasible)
+	}
+	t.Logf("%d runs over 80 instances (%d feasible), all verdicts match the oracle", runs, feasible)
+}
+
+// TestDifferentialLDiversity covers instances with an l-diversity criterion
+// under the looser one-sided contract: the engine may fail on a feasible
+// instance (its greedy baselines don't backtrack), but a success must
+// validate — criterion included — and an oracle-infeasible instance must
+// never produce output.
+func TestDifferentialLDiversity(t *testing.T) {
+	rng := testutil.Rng(t)
+	runs := 0
+	for id := 0; id < 40; id++ {
+		inst := verify.RandomInstance(rng, id, true)
+		inst.LDiversity = 2 // force the criterion on (RandomInstance samples it)
+		oracle, err := verify.BruteForce(inst.Rel, inst.Sigma, inst.K, verify.BruteForceOptions{Criterion: inst.Criterion()})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		for _, strat := range allStrategies {
+			runs++
+			if _, ok := runDivaAnyError(t, inst, strat, rng.Uint64()); ok && !oracle.Feasible {
+				t.Errorf("%s/%s: engine published output for a proven-infeasible instance", inst, strategyName(strat))
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	t.Logf("%d l-diversity runs, no unsound success", runs)
+}
+
+// runDivaAnyError is runDiva for the l-diversity harness: under a criterion
+// the greedy baselines report failure with plain errors (not
+// ErrNoDiverseClustering), so any error counts as "engine infeasible" and
+// only published outputs are checked.
+func runDivaAnyError(t *testing.T, inst verify.Instance, strat diva.Strategy, seed uint64) (*diva.Result, bool) {
+	t.Helper()
+	res, err := diva.AnonymizeContext(context.Background(), inst.Rel, inst.Sigma, diva.Options{
+		K:             inst.K,
+		Strategy:      strat,
+		Seed:          seed,
+		MaxCandidates: 256,
+		LDiversity:    inst.LDiversity,
+	})
+	if err != nil {
+		return nil, false
+	}
+	rep := verify.ValidateOutput(inst.Rel, res.Output, inst.Sigma, inst.K, verify.Options{
+		Criterion:  inst.Criterion(),
+		CheckStars: true,
+		Stars:      res.Metrics.SuppressedCells,
+	})
+	if !rep.OK() {
+		t.Errorf("%s/%s: published output violates invariants: %v", inst, strategyName(strat), rep.Err())
+	}
+	return res, true
+}
+
+// TestDifferentialAdversarial drops the generator's completeness envelope:
+// binding constraints may overlap arbitrarily, which DIVA's coloring is
+// documented to reject conservatively (a cluster may never overflow another
+// constraint's upper bound — internal/verify's instance.go, "Completeness
+// envelope"). The contract is therefore one-sided, pure soundness: an engine
+// success must validate and can never beat or contradict the oracle, and a
+// proven-infeasible instance must never produce output.
+func TestDifferentialAdversarial(t *testing.T) {
+	rng := testutil.Rng(t)
+	runs, conservative := 0, 0
+	for id := 0; id < 40; id++ {
+		inst := verify.RandomAdversarialInstance(rng, id)
+		oracle, err := verify.BruteForce(inst.Rel, inst.Sigma, inst.K, verify.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		for _, strat := range allStrategies {
+			runs++
+			res, ok := runDiva(t, inst, strat, rng.Uint64())
+			switch {
+			case ok && !oracle.Feasible:
+				t.Errorf("%s/%s: engine published output for a proven-infeasible instance", inst, strategyName(strat))
+			case ok && res.Metrics.SuppressedCells < oracle.Stars:
+				t.Errorf("%s/%s: engine claims %d stars, below the proven optimum %d",
+					inst, strategyName(strat), res.Metrics.SuppressedCells, oracle.Stars)
+			case !ok && oracle.Feasible:
+				conservative++ // allowed: documented engine conservatism
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	t.Logf("%d adversarial runs, %d conservative rejections, no unsound outcome", runs, conservative)
+}
+
+// TestDifferentialMetamorphic runs the engine on isomorphic transforms of
+// random instances. The oracle's optimum is provably invariant (see
+// TestOracleMetamorphicInvariance); the engine must keep matching it on both
+// sides of each transform — same feasibility verdict, validated output.
+func TestDifferentialMetamorphic(t *testing.T) {
+	rng := testutil.Rng(t)
+	for id := 0; id < 25; id++ {
+		inst := verify.RandomInstance(rng, id, false)
+		oracle, err := verify.BruteForce(inst.Rel, inst.Sigma, inst.K, verify.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		variants := []verify.Instance{
+			inst,
+			verify.PermuteRows(inst, rng.Perm(inst.Rel.Len())),
+			verify.PermuteColumns(inst, rng.Perm(inst.Rel.Schema().Len())),
+			verify.RenameValues(inst, "~m"),
+			verify.ReorderConstraints(inst, rng.Perm(len(inst.Sigma))),
+		}
+		strat := allStrategies[id%len(allStrategies)]
+		seed := rng.Uint64() // same seed across variants: only the transform differs
+		for _, v := range variants {
+			if _, ok := runDiva(t, v, strat, seed); ok != oracle.Feasible {
+				t.Errorf("%s/%s: engine feasible=%v, oracle (transform-invariant) says %v",
+					v, strategyName(strat), ok, oracle.Feasible)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+
+	"diva/internal/constraint"
+	"diva/internal/privacy"
+	"diva/internal/relation"
+)
+
+// Instance is one self-contained (k, Σ)-anonymization problem at oracle
+// scale: a micro relation, a constraint set and a privacy parameter. The
+// differential and metamorphic test harnesses generate hundreds of these,
+// solve them exactly with BruteForce, and compare the engine's answers.
+type Instance struct {
+	// Name identifies the instance in failure messages (generator family,
+	// index and shape).
+	Name string
+	// Rel is the input relation R.
+	Rel *relation.Relation
+	// Sigma is the diversity constraint set Σ.
+	Sigma constraint.Set
+	// K is the privacy parameter.
+	K int
+	// LDiversity, when ≥ 2, additionally requires distinct l-diversity on
+	// every QI-group (mirrors diva.Options.LDiversity).
+	LDiversity int
+}
+
+// String renders the instance compactly for failure messages.
+func (in Instance) String() string {
+	return fmt.Sprintf("%s: n=%d k=%d l=%d |Σ|=%d", in.Name, in.Rel.Len(), in.K, in.LDiversity, len(in.Sigma))
+}
+
+// Criterion returns the instance's group-level privacy criterion, or nil
+// when LDiversity is off.
+func (in Instance) Criterion() privacy.Criterion {
+	if in.LDiversity >= 2 {
+		return privacy.DistinctLDiversity{L: in.LDiversity}
+	}
+	return nil
+}
+
+// Rows returns the instance's tuples as strings, one row per tuple in
+// schema order — the transform functions rebuild relations from this view so
+// dictionary codes are re-interned in the transformed order.
+func (in Instance) Rows() [][]string {
+	out := make([][]string, in.Rel.Len())
+	for i := range out {
+		out[i] = in.Rel.Values(i)
+	}
+	return out
+}
+
+// instanceValues are the small domains instances draw from. Tiny domains
+// force value collisions, which is what makes micro-instances interesting:
+// QI-groups form, targets overlap, and bounds actually bind.
+var (
+	instanceGenders = []string{"M", "F"}
+	instanceAges    = []string{"30", "40", "50"}
+	instanceCities  = []string{"Vancouver", "Toronto", "Calgary", "Winnipeg"}
+	instanceDiags   = []string{"flu", "cold", "asthma"}
+)
+
+// RandomInstance deterministically generates the id-th micro-instance from
+// rng: a relation of up to DefaultMaxRows tuples over a small schema, and
+// 0–3 diversity constraints whose targets are (mostly) drawn from values
+// actually present, with bounds spanning loose, binding and infeasible
+// shapes. withCriterion adds distinct 2-diversity to a fraction of the
+// instances; the strict differential harness runs without it because the
+// greedy baselines are knowingly incomplete under a criterion.
+//
+// # Completeness envelope
+//
+// Generated constraint sets keep the target pools of "binding" constraints
+// pairwise disjoint. DIVA's coloring is deliberately conservative across
+// overlapping constraints: a candidate clustering may never push another
+// constraint's preserved occurrences above its λr (Section 3.2, condition
+// 2), and Algorithm 2 never suppresses an attribute a cluster agrees on —
+// so an instance that is only solvable by suppressing a preserved cluster's
+// uniform target attribute is feasible for the exact solver but reported
+// infeasible by the engine. Within the disjoint-pool envelope the engine's
+// feasibility verdict provably coincides with the oracle's, which is what
+// the strict differential harness asserts; RandomAdversarialInstance lifts
+// the restriction for the one-sided soundness harness.
+func RandomInstance(rng *rand.Rand, id int, withCriterion bool) Instance {
+	return randomInstance(rng, id, withCriterion, true)
+}
+
+// RandomAdversarialInstance is RandomInstance without the disjoint-pool
+// envelope: binding constraints may overlap arbitrarily, producing instances
+// the engine is allowed to reject conservatively but must never solve
+// unsoundly.
+func RandomAdversarialInstance(rng *rand.Rand, id int) Instance {
+	inst := randomInstance(rng, id, false, false)
+	inst.Name += "/adv"
+	return inst
+}
+
+func randomInstance(rng *rand.Rand, id int, withCriterion, disjointPools bool) Instance {
+	// Privacy parameter first; the row count is drawn relative to it.
+	k := 1 + rng.IntN(3)
+	n := k + rng.IntN(8)
+	if n > DefaultMaxRows {
+		n = DefaultMaxRows
+	}
+	if rng.IntN(20) == 0 && k > 1 {
+		n = rng.IntN(k) // deliberately unanonymizable: fewer rows than k
+	}
+
+	shape := rng.IntN(3)
+	attrs := []relation.Attribute{
+		{Name: "GEN", Role: relation.QI},
+		{Name: "CTY", Role: relation.QI},
+		{Name: "DIAG", Role: relation.Sensitive},
+	}
+	if shape == 1 {
+		attrs = append(attrs[:1], append([]relation.Attribute{{Name: "AGE", Role: relation.QI, Kind: relation.Numeric}}, attrs[1:]...)...)
+	}
+	if shape == 2 {
+		attrs = append(attrs, relation.Attribute{Name: "SSN", Role: relation.Identifier})
+	}
+	rel := relation.New(relation.MustSchema(attrs...))
+
+	cities := instanceCities[:2+rng.IntN(3)]
+	diags := instanceDiags[:2+rng.IntN(2)]
+	ages := instanceAges[:1+rng.IntN(3)]
+	for i := 0; i < n; i++ {
+		row := []string{instanceGenders[rng.IntN(2)]}
+		if shape == 1 {
+			row = append(row, ages[rng.IntN(len(ages))])
+		}
+		row = append(row, cities[rng.IntN(len(cities))], diags[rng.IntN(len(diags))])
+		if shape == 2 {
+			row = append(row, "id-"+strconv.Itoa(i))
+		}
+		rel.MustAppendValues(row...)
+	}
+
+	inst := Instance{
+		Name: fmt.Sprintf("rand-%d/shape%d", id, shape),
+		Rel:  rel,
+		K:    k,
+	}
+	if withCriterion && k >= 2 && rng.IntN(5) == 0 {
+		inst.LDiversity = 2
+	}
+
+	seen := map[string]bool{}
+	taken := map[int]bool{} // union of accepted binding constraints' pools
+	for tries := rng.IntN(4); tries > 0; tries-- {
+		c, ok := randomConstraint(rng, rel, k)
+		if !ok || seen[c.Key()] {
+			continue
+		}
+		if disjointPools {
+			pool, binding := bindingPool(c, rel)
+			if binding {
+				overlaps := false
+				for _, row := range pool {
+					if taken[row] {
+						overlaps = true
+						break
+					}
+				}
+				if overlaps {
+					continue // outside the engine's completeness envelope
+				}
+				for _, row := range pool {
+					taken[row] = true
+				}
+			}
+		}
+		seen[c.Key()] = true
+		inst.Sigma = append(inst.Sigma, c)
+	}
+	return inst
+}
+
+// bindingPool returns c's QI-side target pool when c is binding: searchable
+// (targets at least one QI attribute) and either forcing a cluster (λl > 0)
+// or forcing suppression (λr below R's occurrence count). Loose searchable
+// constraints and sensitive-only constraints never bind a clustering, so
+// they may overlap anything.
+func bindingPool(c constraint.Constraint, rel *relation.Relation) ([]int, bool) {
+	b, err := c.Bound(rel)
+	if err != nil {
+		return nil, false
+	}
+	schema := rel.Schema()
+	searchable := false
+	for _, a := range b.Attrs {
+		if schema.Attr(a).Role == relation.QI {
+			searchable = true
+			break
+		}
+	}
+	if !searchable {
+		return nil, false
+	}
+	if c.Lower == 0 && b.CountIn(rel) <= c.Upper {
+		return nil, false
+	}
+	return b.TargetQIRows(rel), true
+}
+
+// randomConstraint draws one constraint whose bounds are anchored on the
+// value's actual occurrence count, so the generated mix covers trivially
+// loose bounds, exactly-binding bounds, upper bounds that force suppression,
+// and unsatisfiable lower bounds.
+func randomConstraint(rng *rand.Rand, rel *relation.Relation, k int) (constraint.Constraint, bool) {
+	schema := rel.Schema()
+	var qiNames, sensNames []string
+	for i := 0; i < schema.Len(); i++ {
+		switch schema.Attr(i).Role {
+		case relation.QI:
+			qiNames = append(qiNames, schema.Attr(i).Name)
+		case relation.Sensitive:
+			sensNames = append(sensNames, schema.Attr(i).Name)
+		}
+	}
+	pick := func(attr string) string {
+		idx, _ := schema.Index(attr)
+		if rel.Len() == 0 || rng.IntN(8) == 0 {
+			return "absent-" + attr // a value that never occurs
+		}
+		return rel.Value(rng.IntN(rel.Len()), idx)
+	}
+	count := func(c constraint.Constraint) int {
+		b, err := c.Bound(rel)
+		if err != nil {
+			return 0
+		}
+		return b.CountIn(rel)
+	}
+
+	var c constraint.Constraint
+	switch roll := rng.IntN(10); {
+	case roll < 6: // single QI-attribute target
+		attr := qiNames[rng.IntN(len(qiNames))]
+		c = constraint.New(attr, pick(attr), 0, 0)
+		occ := count(c)
+		switch rng.IntN(3) {
+		case 0: // loose
+			c.Lower, c.Upper = 0, occ+rng.IntN(3)
+		case 1: // upper bound that forces suppression
+			c.Lower, c.Upper = 0, rng.IntN(occ+1)
+		default: // binding lower bound, achievable by a ≥ k cluster
+			c.Upper = occ + rng.IntN(2)
+			if c.Upper < k {
+				c.Lower = 0
+			} else {
+				lo := k + rng.IntN(occ+1)
+				if lo > c.Upper {
+					lo = c.Upper
+				}
+				if lo > occ {
+					lo = occ
+				}
+				c.Lower = lo
+			}
+		}
+	case roll < 8: // sensitive-only target: occurrences are invariant
+		attr := sensNames[rng.IntN(len(sensNames))]
+		c = constraint.New(attr, pick(attr), 0, 0)
+		occ := count(c)
+		c.Lower = rng.IntN(occ + 1)
+		c.Upper = occ + rng.IntN(2)
+		if rng.IntN(8) == 0 { // unsatisfiable on purpose
+			c.Upper = c.Lower
+			if occ > 0 && rng.IntN(2) == 0 {
+				c.Lower, c.Upper = occ+1, occ+2
+			}
+		}
+	default: // multi-attribute target (QI + QI or QI + sensitive)
+		a1 := qiNames[rng.IntN(len(qiNames))]
+		a2 := sensNames[rng.IntN(len(sensNames))]
+		if rng.IntN(2) == 0 && len(qiNames) > 1 {
+			a2 = qiNames[rng.IntN(len(qiNames))]
+			if a2 == a1 {
+				return constraint.Constraint{}, false
+			}
+		}
+		c = constraint.NewMulti([]string{a1, a2}, []string{pick(a1), pick(a2)}, 0, 0)
+		occ := count(c)
+		// Mixed targets stress the enumerator's sparse-match paths; keep the
+		// lower bound slack so feasibility hinges on the upper bound.
+		c.Lower, c.Upper = 0, rng.IntN(occ+3)
+	}
+	if c.Upper < c.Lower {
+		c.Upper = c.Lower
+	}
+	return c, true
+}
+
+// rebuild re-interns rows into a fresh relation over schema, so dictionary
+// codes reflect the (possibly transformed) first-appearance order.
+func rebuild(schema *relation.Schema, rows [][]string) *relation.Relation {
+	rel := relation.New(schema)
+	for _, row := range rows {
+		rel.MustAppendValues(row...)
+	}
+	return rel
+}
+
+// PermuteRows returns the instance with tuples reordered by perm (output row
+// i holds input row perm[i]) and codes re-interned. Feasibility and the
+// oracle's optimal star count are invariant under this transform.
+func PermuteRows(in Instance, perm []int) Instance {
+	rows := in.Rows()
+	permuted := make([][]string, len(rows))
+	for i, p := range perm {
+		permuted[i] = rows[p]
+	}
+	out := in
+	out.Name = in.Name + "+rowperm"
+	out.Rel = rebuild(in.Rel.Schema(), permuted)
+	return out
+}
+
+// PermuteColumns returns the instance with attributes reordered by perm
+// (output column i holds input column perm[i]); constraints address
+// attributes by name and are untouched. Feasibility and optimal star count
+// are invariant.
+func PermuteColumns(in Instance, perm []int) Instance {
+	schema := in.Rel.Schema()
+	attrs := make([]relation.Attribute, len(perm))
+	for i, p := range perm {
+		attrs[i] = schema.Attr(p)
+	}
+	rows := in.Rows()
+	permuted := make([][]string, len(rows))
+	for i, row := range rows {
+		permuted[i] = make([]string, len(perm))
+		for j, p := range perm {
+			permuted[i][j] = row[p]
+		}
+	}
+	out := in
+	out.Name = in.Name + "+colperm"
+	out.Rel = rebuild(relation.MustSchema(attrs...), permuted)
+	return out
+}
+
+// RenameValues returns the instance with every attribute value v bijectively
+// renamed to v+suffix, in the relation and in the constraint targets alike.
+// Occurrence counts, group structure, feasibility and optimal star count are
+// all invariant (numeric attributes lose their numeric interpretation, which
+// heuristics may use for ordering but correctness must not depend on).
+func RenameValues(in Instance, suffix string) Instance {
+	rows := in.Rows()
+	renamed := make([][]string, len(rows))
+	for i, row := range rows {
+		renamed[i] = make([]string, len(row))
+		for j, v := range row {
+			renamed[i][j] = v + suffix
+		}
+	}
+	sigma := make(constraint.Set, len(in.Sigma))
+	for i, c := range in.Sigma {
+		values := make([]string, len(c.Values))
+		for j, v := range c.Values {
+			values[j] = v + suffix
+		}
+		sigma[i] = constraint.Constraint{
+			Attrs:  append([]string(nil), c.Attrs...),
+			Values: values,
+			Lower:  c.Lower, Upper: c.Upper,
+		}
+	}
+	out := in
+	out.Name = in.Name + "+rename"
+	out.Rel = rebuild(in.Rel.Schema(), renamed)
+	out.Sigma = sigma
+	return out
+}
+
+// ReorderConstraints returns the instance with Σ reordered by perm.
+// Constraint sets are sets: feasibility and optimal star count are
+// invariant.
+func ReorderConstraints(in Instance, perm []int) Instance {
+	sigma := make(constraint.Set, len(in.Sigma))
+	for i, p := range perm {
+		sigma[i] = in.Sigma[p]
+	}
+	out := in
+	out.Name = in.Name + "+sigmaperm"
+	out.Sigma = sigma
+	return out
+}
