@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare obs-smoke verify fuzz-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare obs-smoke profile-smoke verify fuzz-smoke ci
 
 # Minimum statement coverage for the verification subsystem itself — the
 # checker that everything else leans on must stay tested.
@@ -103,6 +103,38 @@ obs-smoke:
 	[ -s $$tmp/out.csv ] || { echo "obs-smoke: empty anonymized output"; exit 1; }; \
 	echo "obs-smoke: ok (scraped http://$$addr)"
 
+# profile-smoke exercises the search profiler end to end. The success path
+# runs cmd/diva with -profile against the paper's example and validates the
+# artifact as Chrome trace-event JSON with cmd/tracecheck; the failure path
+# runs the deliberately pruned instance (testdata/patients-pruned.sigma) with
+# -explain and asserts the explainer names the upper-bound pruning verdict
+# and a culprit constraint rather than claiming true infeasibility.
+profile-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$(GO) build -o $$tmp/tracecheck ./cmd/tracecheck; \
+	$$tmp/diva -in testdata/patients.csv -constraints testdata/patients.sigma \
+		-k 2 -seed 42 -profile $$tmp/prof.json >$$tmp/out.csv 2>$$tmp/err.log || { \
+		echo "profile-smoke: profiled run failed"; cat $$tmp/err.log; exit 1; }; \
+	$$tmp/tracecheck $$tmp/prof.json || { \
+		echo "profile-smoke: -profile artifact is not valid trace-event JSON"; exit 1; }; \
+	[ -s $$tmp/out.csv ] || { echo "profile-smoke: empty anonymized output"; exit 1; }; \
+	if $$tmp/diva -in testdata/patients.csv -constraints testdata/patients-pruned.sigma \
+		-strategy MinChoice -k 2 -seed 42 -explain \
+		>/dev/null 2>$$tmp/explain.log; then \
+		echo "profile-smoke: pruned instance unexpectedly succeeded"; exit 1; fi; \
+	grep -q 'UPPER-BOUND PRUNING' $$tmp/explain.log || { \
+		echo "profile-smoke: explainer missing upper-bound pruning verdict:"; \
+		cat $$tmp/explain.log; exit 1; }; \
+	grep -q 'NOT a proof' $$tmp/explain.log || { \
+		echo "profile-smoke: explainer failed to caveat the pruning verdict:"; \
+		cat $$tmp/explain.log; exit 1; }; \
+	grep -Eq 'dominant_blocker=σ[0-9]' $$tmp/explain.log || { \
+		echo "profile-smoke: explainer named no culprit constraint:"; \
+		cat $$tmp/explain.log; exit 1; }; \
+	echo "profile-smoke: ok (trace artifact valid, explainer named a culprit)"
+
 # verify runs the differential-verification subsystem as its own gate: the
 # invariant checker and brute-force oracle unit tests, the differential and
 # metamorphic harnesses (several hundred micro-instances against the oracle),
@@ -125,4 +157,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
 
-ci: fmt-check vet build test race verify obs-smoke
+ci: fmt-check vet build test race verify obs-smoke profile-smoke

@@ -5,13 +5,22 @@
 //
 //	diva -in data.csv -constraints sigma.txt -k 10 [-strategy MaxFanOut]
 //	     [-seed 1] [-baseline k-member] [-verify] [-stats]
-//	     [-timeout 30s] [-trace] [-metrics]
+//	     [-timeout 30s] [-trace] [-metrics] [-profile out.json] [-explain]
 //	     [-listen 127.0.0.1:9090] [-hold 30s] [-log-format text|json]
 //
 // -timeout bounds the run's wall time (the search stops promptly and the
 // command exits nonzero), -trace streams phase boundaries and the portfolio
 // outcome to stderr as they happen, and -metrics dumps the run's aggregated
 // metrics — per-phase wall times, search counters — as JSON on stderr.
+//
+// -profile reconstructs the coloring search tree and writes it as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. -explain prints a search explanation on stderr — the
+// culprit constraints, the dominant backtrack frontier, and, when the run
+// fails, whether the last candidates were rejected by true candidate
+// exhaustion or by the engine's conservative upper-bound consistency check;
+// it prints before the nonzero exit, so it is most useful on infeasible
+// instances.
 //
 // -listen starts the ops HTTP server for the life of the process: /metrics
 // (Prometheus text exposition), /debug/vars (expvar), /debug/pprof/*, and
@@ -70,7 +79,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		traceFlag   = flag.Bool("trace", false, "stream phase boundaries and portfolio outcomes to stderr")
 		metricsDump = flag.Bool("metrics", false, "dump the run's aggregated metrics as JSON on stderr")
-		listen      = flag.String("listen", "", "serve ops endpoints (/metrics, /debug/vars, /debug/pprof, /debug/diva/runs) on this address (\":0\" = ephemeral port)")
+		profileOut  = flag.String("profile", "", "write the run's search profile as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		explain     = flag.Bool("explain", false, "print a search explanation on stderr: culprit constraints, backtrack frontier, and — on failure — whether upper-bound pruning or true candidate exhaustion rejected the last candidates")
+		listen      = flag.String("listen", "", "serve ops endpoints (/metrics, /debug/vars, /debug/pprof, /debug/diva/runs, /debug/diva/profile) on this address (\":0\" = ephemeral port)")
 		hold        = flag.Duration("hold", 0, "keep the process (and its -listen ops server) alive this long after the run (0 = exit when done)")
 		logFormat   = flag.String("log-format", "", "structured run logging on stderr: text or json (empty = off)")
 		hierarchies hierarchyFlags
@@ -92,6 +103,9 @@ func main() {
 		}
 	}
 	if *listen != "" {
+		// Per-run profiles are cheap enough to keep for every run the ops
+		// server can serve (/debug/diva/profile/{runID}).
+		obs.EnableProfiling(true)
 		srv, err := obs.Serve(*listen)
 		if err != nil {
 			fatal(err)
@@ -156,6 +170,14 @@ func main() {
 	if logger != nil {
 		tracers = append(tracers, obs.NewSlogTracer(logger))
 	}
+	var prof *diva.Profiler
+	if *profileOut != "" || *explain {
+		if *constraints == "" {
+			fatal(fmt.Errorf("-profile/-explain need -constraints: only the coloring search is profiled"))
+		}
+		prof = diva.NewProfiler()
+		tracers = append(tracers, prof)
+	}
 	opts.Tracer = trace.Tee(tracers...)
 
 	ctx := context.Background()
@@ -218,6 +240,25 @@ func main() {
 				}
 			}
 		}
+		// Finalize the profile before bailing on error: -explain exists
+		// precisely for the infeasible exit path.
+		if prof != nil {
+			errText := ""
+			if err != nil {
+				errText = err.Error()
+			}
+			prof.Finish(diva.RunOutcome(err), errText)
+			p := prof.Profile()
+			if *profileOut != "" {
+				if werr := writeProfile(*profileOut, p); werr != nil {
+					fatal(werr)
+				}
+				fmt.Fprintf(os.Stderr, "diva: search profile written to %s (load it at ui.perfetto.dev or chrome://tracing)\n", *profileOut)
+			}
+			if *explain {
+				fmt.Fprint(os.Stderr, p.Explain().String())
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -264,6 +305,19 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "diva:", err)
 	os.Exit(1)
+}
+
+// writeProfile writes a search profile as Chrome trace-event JSON.
+func writeProfile(path string, p *diva.SearchProfile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // verifyOutput re-checks a published relation against every invariant the

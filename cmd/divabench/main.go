@@ -4,7 +4,7 @@
 // Usage:
 //
 //	divabench [-exp id[,id...]] [-scale 0.1] [-seed N] [-k 10] [-sigma 8]
-//	          [-csv] [-json] [-quiet]
+//	          [-csv] [-json] [-bench-out BENCH_x.json] [-quiet]
 //
 // With no -exp, every experiment runs in paper order. -scale multiplies the
 // |R| sweeps (1.0 = the paper's full sizes; expect hours). -csv prints
@@ -13,6 +13,11 @@
 // per-phase wall-time breakdown (bind, build-graph, color, suppress,
 // baseline, integrate, verify) accumulated while the experiment ran. In
 // text mode the same breakdown appears as a note under each table.
+//
+// -bench-out writes a BENCH_*.json snapshot — the reproduction command, the
+// harness configuration, and every table with its phase seconds and engine
+// counter deltas — the format the repo's BENCH_* trajectory files use for
+// cross-PR performance comparisons.
 package main
 
 import (
@@ -30,15 +35,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "comma-separated experiment ids (default: all); one of table4, table5, fig4a..fig4d, fig5a..fig5d")
-		scale   = flag.Float64("scale", 0.1, "scale factor for |R| sweeps (1.0 = paper sizes)")
-		seed    = flag.Uint64("seed", 0, "random seed (0 = harness default)")
-		k       = flag.Int("k", 0, "default privacy parameter k (0 = harness default 10)")
-		sigma   = flag.Int("sigma", 0, "default |Sigma| (0 = harness default 8)")
-		csvOut  = flag.Bool("csv", false, "emit CSV series instead of aligned text")
-		jsonOut = flag.Bool("json", false, "emit one JSON document with every table and its phase breakdown")
-		outDir  = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
-		quiet   = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all); one of table4, table5, fig4a..fig4d, fig5a..fig5d")
+		scale    = flag.Float64("scale", 0.1, "scale factor for |R| sweeps (1.0 = paper sizes)")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = harness default)")
+		k        = flag.Int("k", 0, "default privacy parameter k (0 = harness default 10)")
+		sigma    = flag.Int("sigma", 0, "default |Sigma| (0 = harness default 8)")
+		csvOut   = flag.Bool("csv", false, "emit CSV series instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document with every table and its phase breakdown")
+		outDir   = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
+		benchOut = flag.String("bench-out", "", "write a BENCH_*.json snapshot (every table with its phase seconds and engine counter deltas) to this file")
+		quiet    = flag.Bool("quiet", false, "suppress per-point progress on stderr")
 	)
 	flag.Parse()
 
@@ -63,6 +69,7 @@ func main() {
 
 	exit := 0
 	var tables []*bench.Table
+	collect := *jsonOut || *benchOut != ""
 	for _, id := range ids {
 		e, ok := bench.Lookup(strings.TrimSpace(id))
 		if !ok {
@@ -94,9 +101,10 @@ func main() {
 		if delta.Runs > 0 {
 			table.Engine = &delta
 		}
-		if *jsonOut {
+		if collect {
 			tables = append(tables, table)
-		} else {
+		}
+		if !*jsonOut {
 			printTable(os.Stdout, table, *csvOut)
 		}
 		if *outDir != "" {
@@ -114,7 +122,45 @@ func main() {
 			exit = 1
 		}
 	}
+	if *benchOut != "" {
+		if err := writeBenchSnapshot(*benchOut, cfg, ids, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "divabench: %v\n", err)
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// benchSnapshot is the BENCH_*.json schema: the reproduction command, the
+// harness configuration, and every table with its per-phase seconds and
+// engine counter deltas — the bench trajectory a later PR's snapshot is
+// compared against.
+type benchSnapshot struct {
+	Description string         `json:"description"`
+	Command     string         `json:"command"`
+	Config      bench.Config   `json:"config"`
+	Tables      []*bench.Table `json:"tables"`
+}
+
+func writeBenchSnapshot(path string, cfg bench.Config, ids []string, tables []*bench.Table) error {
+	cfg.Progress = nil // not serializable, and meaningless in a snapshot
+	snap := benchSnapshot{
+		Description: "divabench snapshot: " + strings.Join(ids, ","),
+		Command:     "go run ./cmd/divabench -exp " + strings.Join(ids, ",") + fmt.Sprintf(" -scale %g -bench-out %s", cfg.Scale, filepath.Base(path)),
+		Config:      cfg,
+		Tables:      tables,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSVFile(dir string, t *bench.Table) error {

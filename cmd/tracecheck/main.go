@@ -1,0 +1,90 @@
+// Command tracecheck validates a Chrome trace-event JSON file (the format
+// `diva -profile` writes and Perfetto/chrome://tracing load): the document
+// must parse, carry a non-empty traceEvents array, and every event must have
+// a name, a phase, a non-negative timestamp, and — for complete ("X")
+// events — a non-negative duration. Exit status 0 means the file is loadable;
+// 1 names the first violation. It exists so CI can assert profile exports
+// without a browser.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tracecheck: ok")
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	counts := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.Ph == "" {
+			return fmt.Errorf("%s: event %d (%q) has no phase", path, i, ev.Name)
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("%s: event %d (%q) has a missing or negative ts", path, i, ev.Name)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("%s: event %d (%q) lacks pid/tid", path, i, ev.Name)
+		}
+		if ev.Ph == "X" && (ev.Dur == nil || *ev.Dur < 0) {
+			return fmt.Errorf("%s: complete event %d (%q) has a missing or negative dur", path, i, ev.Name)
+		}
+		counts[ev.Ph]++
+	}
+	fmt.Printf("tracecheck: %s: %d events (", path, len(doc.TraceEvents))
+	first := true
+	for _, ph := range []string{"M", "X", "B", "E", "i"} {
+		if counts[ph] == 0 {
+			continue
+		}
+		if !first {
+			fmt.Print(", ")
+		}
+		first = false
+		fmt.Printf("%d %s", counts[ph], ph)
+	}
+	fmt.Println(")")
+	return nil
+}

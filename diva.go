@@ -60,6 +60,7 @@ import (
 	"diva/internal/hierarchy"
 	"diva/internal/metrics"
 	"diva/internal/privacy"
+	"diva/internal/profile"
 	"diva/internal/relation"
 	"diva/internal/search"
 	"diva/internal/trace"
@@ -185,6 +186,29 @@ const (
 // NewWriterTracer returns a Tracer that renders phase boundaries and
 // portfolio outcomes as human-readable lines on w.
 func NewWriterTracer(w io.Writer) Tracer { return trace.NewWriter(w) }
+
+// Search profiling, re-exported from the profile layer. A Profiler is a
+// Tracer that reconstructs the coloring search tree live; set it on
+// Options.Tracer (trace.Tee it with other tracers as needed), then call
+// Finish and Profile once the run ends. The resulting Profile exports Chrome
+// trace-event JSON (Perfetto), pprof-style folded stacks, a text summary,
+// and the infeasibility Explanation — see `diva -profile` and `diva
+// -explain`.
+type (
+	// Profiler reconstructs the search tree from a run's event stream.
+	Profiler = profile.Profiler
+	// SearchProfile is a finalized per-run search profile.
+	SearchProfile = profile.Profile
+	// Explanation attributes a coloring failure to concrete constraints.
+	Explanation = profile.Explanation
+)
+
+// NewProfiler returns an empty search Profiler.
+func NewProfiler() *Profiler { return profile.New() }
+
+// RunOutcome classifies an Anonymize error for Profiler.Finish and
+// dashboards: "ok", "canceled", "infeasible" or "error".
+func RunOutcome(err error) string { return core.RunOutcome(err) }
 
 // NewRecorder returns a Recorder. Feed it to Options.Tracer to aggregate a
 // run's events independently of the engine's own Result.Metrics; the two

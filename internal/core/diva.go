@@ -20,6 +20,7 @@ import (
 	"diva/internal/metrics"
 	"diva/internal/obs"
 	"diva/internal/privacy"
+	"diva/internal/profile"
 	"diva/internal/relation"
 	"diva/internal/search"
 	"diva/internal/trace"
@@ -37,6 +38,22 @@ var ErrNoDiverseClustering = errors.New("diva: no diverse k-anonymous relation e
 // the two causes; the accompanying Result carries the partial RunMetrics of
 // the phases that completed before the abort.
 var ErrCanceled = errors.New("diva: run canceled")
+
+// RunOutcome classifies an Anonymize error for profiles and dashboards:
+// "ok" (nil), "canceled" (ErrCanceled), "infeasible"
+// (ErrNoDiverseClustering), or "error".
+func RunOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrNoDiverseClustering):
+		return "infeasible"
+	default:
+		return "error"
+	}
+}
 
 // Options configures a DIVA run.
 type Options struct {
@@ -132,7 +149,16 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 	// /debug/diva/runs (current phase, heartbeat liveness) from here until
 	// finish moves it to the completed ring.
 	run := obs.Runs.Begin()
+	// When ops profiling is on, tee a search profiler into the run's event
+	// stream; finish deposits the reconstructed profile into obs.Profiles for
+	// /debug/diva/profile/{runID}.
+	var prof *profile.Profiler
 	tr := trace.Tee(opts.Tracer, rec, run)
+	if obs.ProfilingEnabled() {
+		prof = profile.New()
+		prof.SetRunID(run.ID())
+		tr = trace.Tee(tr, prof)
+	}
 	var stats search.Stats
 
 	// finish stamps the run's metrics onto the result (building an
@@ -164,6 +190,14 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		res.Metrics = m
 		trace.RecordGlobal(m, err)
 		run.End(m, err)
+		if prof != nil {
+			errText := ""
+			if err != nil {
+				errText = err.Error()
+			}
+			prof.Finish(RunOutcome(err), errText)
+			obs.Profiles.Add(prof.Profile())
+		}
 		return res, err
 	}
 	// phase runs one stage under its trace events and pprof label. It
@@ -239,6 +273,9 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		copts.K = opts.K
 		copts.Criterion = opts.Criterion
 		graph = search.BuildGraph(rel, searchable, copts)
+		// Describe the graph's shape (node labels, conflict-edge weights) to
+		// the event stream so profiles and explanations can name constraints.
+		graph.Describe(tr)
 		return nil
 	})
 	if err != nil {

@@ -96,7 +96,7 @@ func TestLiveRunVisibleWhileInFlight(t *testing.T) {
 	}
 
 	// The same run must be visible over HTTP.
-	srv := httptest.NewServer(obs.NewMux(obs.Metrics, obs.Runs))
+	srv := httptest.NewServer(obs.NewMux(obs.Metrics, obs.Runs, obs.Profiles))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + "/debug/diva/runs")
 	if err != nil {
@@ -261,5 +261,37 @@ func TestConcurrentRunsRegistryAndMetrics(t *testing.T) {
 		if !strings.Contains(expo, want) {
 			t.Fatalf("/metrics exposition missing %q", want)
 		}
+	}
+}
+
+// TestEngineProfilingDepositsProfile is the engine↔ops handshake for the
+// profiler: with profiling enabled, every core run must deposit a finished
+// profile into obs.Profiles keyed by its registry run ID, labeled with
+// constraint names and carrying the reconstructed tree.
+func TestEngineProfilingDepositsProfile(t *testing.T) {
+	obs.EnableProfiling(true)
+	defer obs.EnableProfiling(false)
+
+	res, err := diva.AnonymizeContext(context.Background(), loadPatients(t), paperSigma(), diva.Options{
+		K: 2, Strategy: diva.MinChoice, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obs.Profiles.Get(res.Metrics.RunID)
+	if p == nil {
+		t.Fatalf("no profile for run %d in obs.Profiles (ring: %v)", res.Metrics.RunID, obs.Profiles.IDs())
+	}
+	if p.Outcome != "ok" {
+		t.Fatalf("outcome = %q", p.Outcome)
+	}
+	if p.Root == nil || len(p.Root.Children) == 0 {
+		t.Fatal("profile has no search tree")
+	}
+	if p.Totals.Steps != res.Metrics.Steps {
+		t.Fatalf("profile steps = %d, engine steps = %d", p.Totals.Steps, res.Metrics.Steps)
+	}
+	if len(p.Nodes) != 3 || p.Nodes[0].Label == "" {
+		t.Fatalf("graph description missing: nodes = %+v", p.Nodes)
 	}
 }

@@ -6,18 +6,23 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"diva/internal/profile"
 )
 
 // NewMux returns an http.ServeMux mounting the ops endpoints:
 //
-//	/metrics          Prometheus text exposition of reg
-//	/debug/vars       expvar (the trace package's process-wide "diva." totals)
-//	/debug/pprof/*    runtime profiles (phases carry a "diva_phase" label)
-//	/debug/diva/runs  JSON {"live": [...], "completed": [...]} from runs
+//	/metrics                  Prometheus text exposition of reg
+//	/debug/vars               expvar (the trace package's process-wide "diva." totals)
+//	/debug/pprof/*            runtime profiles (phases carry a "diva_phase" label)
+//	/debug/diva/runs          JSON {"live": [...], "completed": [...]} from runs
+//	/debug/diva/profile/{id}  per-run search profile from profiles (see
+//	                          ?format=json|trace|folded|summary|explain); the
+//	                          bare path lists retained run IDs
 //
-// Pass Metrics and Runs (the process-wide defaults) for a standard ops
-// server, or dedicated instances in tests.
-func NewMux(reg *Registry, runs *RunRegistry) *http.ServeMux {
+// Pass Metrics, Runs and Profiles (the process-wide defaults) for a standard
+// ops server, or dedicated instances in tests.
+func NewMux(reg *Registry, runs *RunRegistry, profiles *profile.Ring) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -28,23 +33,29 @@ func NewMux(reg *Registry, runs *RunRegistry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/diva/runs", func(w http.ResponseWriter, _ *http.Request) {
 		live, completed := runs.Snapshot()
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
+		writeJSON(w, struct {
 			Live      []RunInfo `json:"live"`
 			Completed []RunInfo `json:"completed"`
 		}{Live: live, Completed: completed})
 	})
+	mux.HandleFunc("/debug/diva/profile/", profileHandler(profiles))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n"))
+		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n/debug/diva/profile/\n"))
 	})
 	return mux
+}
+
+// writeJSON writes v as indented JSON with the right content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // Server is a running ops HTTP server.
@@ -67,7 +78,7 @@ func Serve(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(Metrics, Runs)}
+	srv := &http.Server{Handler: NewMux(Metrics, Runs, Profiles)}
 	go srv.Serve(l)
 	return &Server{srv: srv, l: l}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"diva/internal/profile"
 	"diva/internal/trace"
 )
 
@@ -45,7 +46,7 @@ func TestMuxEndpoints(t *testing.T) {
 	live.Trace(trace.Event{Kind: trace.KindProgress, Steps: 77, Depth: 5, Worker: -1})
 	runs.Begin().End(&trace.RunMetrics{Total: time.Millisecond}, nil)
 
-	srv := httptest.NewServer(NewMux(Metrics, runs))
+	srv := httptest.NewServer(NewMux(Metrics, runs, profile.NewRing(4)))
 	defer srv.Close()
 	defer live.End(nil, nil)
 

@@ -113,6 +113,34 @@ func BuildGraph(rel *relation.Relation, bounds []*constraint.Bound, opts cluster
 	return g
 }
 
+// Describe emits the graph's shape into tr: one KindNode event per node
+// (index, constraint label, neighbor count) and one KindEdge event per edge
+// with the endpoints' target-set Jaccard overlap. Consumers such as the
+// search profiler use these to label search-tree spans with constraints and
+// to weight conflict-edge heat in infeasibility explanations; the engine
+// calls it once during the build-graph phase.
+func (g *Graph) Describe(tr trace.Tracer) {
+	if tr == nil || tr == trace.Nop {
+		return
+	}
+	for _, n := range g.Nodes {
+		tr.Trace(trace.Event{Kind: trace.KindNode, Node: n.Index, Label: n.Bound.String(), N: len(n.Neighbors)})
+	}
+	for _, n := range g.Nodes {
+		for _, j := range n.Neighbors {
+			if j <= n.Index {
+				continue // each edge once, from its lower endpoint
+			}
+			tr.Trace(trace.Event{
+				Kind:     trace.KindEdge,
+				Node:     n.Index,
+				N:        j,
+				Conflict: constraint.PairConflict(g.rel, n.Bound, g.Nodes[j].Bound),
+			})
+		}
+	}
+}
+
 // Stats reports search effort.
 type Stats struct {
 	// Steps counts color-assignment attempts.
@@ -193,14 +221,15 @@ func (g *Graph) Color(opts Options) (sigma cluster.Clustering, stats Stats, foun
 		opts.HeartbeatEvery = DefaultHeartbeatEvery
 	}
 	st := &state{
-		g:         g,
-		assigned:  make([]cluster.Clustering, len(g.Nodes)),
-		colored:   make([]bool, len(g.Nodes)),
-		used:      rowset.New(g.rel.Len()),
-		active:    make(map[uint64]*activeCluster),
-		preserve:  make([]int, len(g.Nodes)),
-		candCache: make(map[candKey][]cluster.Clustering, 4*len(g.Nodes)),
-		opts:      opts,
+		g:          g,
+		assigned:   make([]cluster.Clustering, len(g.Nodes)),
+		colored:    make([]bool, len(g.Nodes)),
+		used:       rowset.New(g.rel.Len()),
+		active:     make(map[uint64]*activeCluster),
+		preserve:   make([]int, len(g.Nodes)),
+		candCache:  make(map[candKey][]cluster.Clustering, 4*len(g.Nodes)),
+		blockCount: make([]int, len(g.Nodes)),
+		opts:       opts,
 	}
 	st.stats.nodeAssigns = make([]int, len(g.Nodes))
 	st.stats.nodeBacktracks = make([]int, len(g.Nodes))
@@ -266,6 +295,16 @@ type state struct {
 	// clusters of a candidate (candidatesFor finishes with it before the
 	// search recurses, so one buffer per state suffices).
 	newClusters [][]int
+	// blockCount is candidatesFor's reusable scratch counting, per node, how
+	// many candidates of the current visit the node's upper bound rejected;
+	// the maximum entry names the visit's dominant blocker.
+	blockCount []int
+	// spanSeq and spanStack maintain search-tree span identities for the
+	// tracer: each assignment opens a span (unique, monotone id) whose parent
+	// is the enclosing assignment's span, and the matching backtrack closes
+	// it. Maintained only when a tracer is attached.
+	spanSeq   uint64
+	spanStack []uint64
 	// done is the context's cancellation channel (nil when no context).
 	done    <-chan struct{}
 	opts    Options
@@ -314,7 +353,7 @@ func (st *state) rawCandidates(v int) []cluster.Clustering {
 	if cands, ok := st.candCache[key]; ok {
 		st.stats.CacheHits++
 		if st.opts.Tracer != nil {
-			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCacheHit, Node: v, N: len(cands)})
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCacheHit, Node: v, N: len(cands), Parent: st.topSpan(), Depth: st.nColored})
 		}
 		return cands
 	}
@@ -325,9 +364,26 @@ func (st *state) rawCandidates(v int) []cluster.Clustering {
 	st.candCache[key] = cands
 	st.stats.CacheMisses++
 	if st.opts.Tracer != nil {
-		st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCandidates, Node: v, N: len(cands)})
+		st.opts.Tracer.Trace(trace.Event{Kind: trace.KindCandidates, Node: v, N: len(cands), Parent: st.topSpan(), Depth: st.nColored})
 	}
 	return cands
+}
+
+// visit aggregates one node-visit's candidate accounting, reported on the
+// KindExhausted event when the visit runs dry: how many candidates were
+// considered, why the consistency check rejected the ones it did, and which
+// node's upper bound did most of the rejecting.
+type visit struct {
+	// enumerated counts the candidates considered at this visit: the raw
+	// enumeration against the current used-row set plus the shared-cluster
+	// proposals that fell within the node's bounds.
+	enumerated int
+	// rejOverlap and rejUpper count consistency-check rejections: partial
+	// overlap with an active cluster vs. an upper-bound violation.
+	rejOverlap, rejUpper int
+	// blocker is the node whose upper bound rejected the most candidates
+	// (−1 when rejUpper is 0).
+	blocker int
 }
 
 // candidatesFor regenerates node v's candidates against the rows still
@@ -335,17 +391,45 @@ func (st *state) rawCandidates(v int) []cluster.Clustering {
 // Clusters already assigned to other nodes may be shared when they lie
 // inside v's target set ("for every pair of clusters … either disjoint or
 // equal", Section 3.2); shared candidates come first since they cost no
-// additional suppression.
-func (st *state) candidatesFor(v int) []cluster.Clustering {
+// additional suppression. The returned visit records the rejection
+// breakdown for exhaustion reporting.
+func (st *state) candidatesFor(v int) ([]cluster.Clustering, visit) {
+	vs := visit{blocker: -1}
 	node := st.g.Nodes[v]
 	out := st.sharedCandidates(node)
-	for _, cand := range st.rawCandidates(v) {
+	vs.enumerated = len(out)
+	raw := st.rawCandidates(v)
+	vs.enumerated += len(raw)
+	// Dominant-blocker attribution only feeds the KindExhausted event, so
+	// the scratch bookkeeping is skipped on untraced runs.
+	traced := st.opts.Tracer != nil
+	if traced {
+		clear(st.blockCount)
+	}
+	for _, cand := range raw {
 		st.stats.CandidatesTried++
-		if st.isConsistent(cand) {
+		ok, overlap, blocker := st.isConsistent(cand)
+		switch {
+		case ok:
 			out = append(out, cand)
+		case overlap:
+			vs.rejOverlap++
+		default:
+			vs.rejUpper++
+			if traced {
+				st.blockCount[blocker]++
+			}
 		}
 	}
-	return out
+	if traced {
+		best := 0
+		for j, c := range st.blockCount {
+			if c > best {
+				best, vs.blocker = c, j
+			}
+		}
+	}
+	return out, vs
 }
 
 // sharedCandidates proposes clusterings built from clusters other nodes
@@ -405,7 +489,9 @@ func (st *state) color() bool {
 		return false
 	}
 	v := st.nextNode()
-	for _, cand := range st.candidatesFor(v) {
+	cands, vs := st.candidatesFor(v)
+	descended := 0
+	for _, cand := range cands {
 		st.stats.Steps++
 		if st.stats.Steps > st.opts.MaxSteps {
 			st.aborted = true
@@ -417,10 +503,14 @@ func (st *state) color() bool {
 		if st.canceled() {
 			return false
 		}
+		descended++
 		st.assign(v, cand)
 		st.stats.nodeAssigns[v]++
 		if st.opts.Tracer != nil {
-			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindAssign, Node: v})
+			parent := st.topSpan()
+			st.spanSeq++
+			st.spanStack = append(st.spanStack, st.spanSeq)
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindAssign, Node: v, Span: st.spanSeq, Parent: parent, Depth: st.nColored})
 		}
 		if st.color() {
 			return true
@@ -429,13 +519,39 @@ func (st *state) color() bool {
 		st.stats.Backtracks++
 		st.stats.nodeBacktracks[v]++
 		if st.opts.Tracer != nil {
-			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindBacktrack, Node: v})
+			span := st.topSpan()
+			st.spanStack = st.spanStack[:len(st.spanStack)-1]
+			st.opts.Tracer.Trace(trace.Event{Kind: trace.KindBacktrack, Node: v, Span: span, Parent: st.topSpan(), Depth: st.nColored})
 		}
 		if st.aborted {
 			return false
 		}
 	}
+	// The visit ran out of candidates: every one was rejected up front or
+	// descended into and backtracked out of. Report why, so profilers can
+	// attribute the retreat to concrete constraints.
+	if st.opts.Tracer != nil {
+		st.opts.Tracer.Trace(trace.Event{
+			Kind:            trace.KindExhausted,
+			Node:            v,
+			N:               descended,
+			Parent:          st.topSpan(),
+			Depth:           st.nColored,
+			Enumerated:      vs.enumerated,
+			RejectedOverlap: vs.rejOverlap,
+			RejectedUpper:   vs.rejUpper,
+			Blocker:         vs.blocker,
+		})
+	}
 	return false
+}
+
+// topSpan returns the innermost open search-tree span (0 at the root).
+func (st *state) topSpan() uint64 {
+	if n := len(st.spanStack); n > 0 {
+		return st.spanStack[n-1]
+	}
+	return 0
 }
 
 // emitProgress sends a KindProgress heartbeat carrying the search's
@@ -504,8 +620,12 @@ func (st *state) nextNode() int {
 
 // isConsistent checks the two search conditions of Section 3.2 for a
 // candidate clustering against the current partial assignment:
-// disjoint-unless-equal clusters, and no upper-bound violation.
-func (st *state) isConsistent(cand cluster.Clustering) bool {
+// disjoint-unless-equal clusters, and no upper-bound violation. When the
+// candidate is rejected, overlap distinguishes a disjointness violation
+// (condition 1) from an upper-bound one, and blocker names the first node
+// whose upper bound the candidate would exceed (−1 on overlap rejections) —
+// the attribution the infeasibility explainer aggregates.
+func (st *state) isConsistent(cand cluster.Clustering) (ok, overlap bool, blocker int) {
 	// Condition 1: each cluster is either identical to an active cluster or
 	// disjoint from all of them. Dynamically enumerated candidates are
 	// disjoint by construction; the check protects externally supplied
@@ -518,7 +638,7 @@ func (st *state) isConsistent(cand cluster.Clustering) bool {
 			continue // identical cluster already active: sharing is allowed
 		}
 		if st.used.IntersectsAny(c) {
-			return false // partial overlap with a different cluster
+			return false, true, -1 // partial overlap with a different cluster
 		}
 		newClusters = append(newClusters, c)
 	}
@@ -530,10 +650,10 @@ func (st *state) isConsistent(cand cluster.Clustering) bool {
 			add += preservedIn(st.g.rel, node.Bound, c)
 		}
 		if add > 0 && st.preserve[j]+add > node.Bound.Upper {
-			return false
+			return false, false, j
 		}
 	}
-	return true
+	return true, false, -1
 }
 
 func (st *state) assign(v int, cand cluster.Clustering) {

@@ -78,6 +78,28 @@ const (
 	// events concurrently and must handle at least that kind in a
 	// goroutine-safe way (Recorder and WriterTracer both are).
 	KindProgress
+	// KindExhausted reports that a node-visit ran out of candidates during
+	// the coloring search: every candidate for Event.Node was either rejected
+	// by the consistency check or descended into and backtracked out of, so
+	// the search retreats past this visit. Event.N counts candidates
+	// descended into, Event.Enumerated the candidates considered (raw
+	// enumeration plus shared clusters), Event.RejectedOverlap and
+	// Event.RejectedUpper the consistency-check rejections by reason, and
+	// Event.Blocker the node whose upper bound rejected the most candidates
+	// (−1 when none). Enumerated == 0 is true candidate exhaustion — the
+	// enumerator found nothing against the current used-row set — whereas
+	// RejectedUpper > 0 marks pruning by the engine's deliberately
+	// conservative upper-bound consistency check (see internal/verify's
+	// completeness envelope).
+	KindExhausted
+	// KindNode describes one constraint-graph node during the build-graph
+	// phase: Event.Node is its index, Event.Label the constraint it
+	// represents (σ in the paper's notation), and Event.N its neighbor count.
+	KindNode
+	// KindEdge describes one constraint-graph edge during the build-graph
+	// phase: nodes Event.Node and Event.N share target tuples with Jaccard
+	// overlap Event.Conflict (constraint.PairConflict).
+	KindEdge
 )
 
 // String names the event kind.
@@ -99,6 +121,12 @@ func (k EventKind) String() string {
 		return "worker-win"
 	case KindProgress:
 		return "progress"
+	case KindExhausted:
+		return "exhausted"
+	case KindNode:
+		return "node"
+	case KindEdge:
+		return "edge"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -124,11 +152,33 @@ type Event struct {
 	// Steps, Backtracks, Candidates, CacheHits and CacheMisses are the
 	// emitting search's cumulative counters, set for KindProgress.
 	Steps, Backtracks, Candidates, CacheHits, CacheMisses int
-	// Depth is the number of colored nodes at the heartbeat (KindProgress).
+	// Depth is the number of colored nodes at the heartbeat (KindProgress)
+	// or when a per-node search event (KindAssign, KindBacktrack,
+	// KindCandidates, KindCacheHit, KindExhausted) was emitted.
 	Depth int
 	// Worker is the emitting portfolio worker for KindProgress (−1 when the
 	// search runs sequentially).
 	Worker int
+	// Span identifies the search-tree node-visit a KindAssign opens and the
+	// matching KindBacktrack closes. Span IDs are unique and monotone within
+	// one search; 0 means "no span" (batched portfolio replays carry no
+	// tree structure). Parent is the enclosing visit's span (0 at the root),
+	// set on KindAssign and, for the point events KindCandidates,
+	// KindCacheHit and KindExhausted, naming the visit they occurred under.
+	// Together they let a consumer (internal/profile) reconstruct the
+	// hierarchical search tree from the flat event stream.
+	Span, Parent uint64
+	// Label is the constraint rendered in the paper's notation, set for
+	// KindNode.
+	Label string
+	// Conflict is the target-set Jaccard overlap of an edge's endpoints, set
+	// for KindEdge (Event.Node and Event.N are the endpoints).
+	Conflict float64
+	// Enumerated, RejectedOverlap, RejectedUpper and Blocker describe a
+	// KindExhausted visit: candidates considered, consistency-check
+	// rejections by reason, and the node whose upper bound rejected the most
+	// candidates (−1 when no upper-bound rejection occurred).
+	Enumerated, RejectedOverlap, RejectedUpper, Blocker int
 }
 
 // Tracer observes run events. Implementations used with sequential runs are
@@ -209,6 +259,10 @@ type RunMetrics struct {
 	// events are suppressed).
 	NodeAssigns    map[int]int `json:"node_assigns,omitempty"`
 	NodeBacktracks map[int]int `json:"node_backtracks,omitempty"`
+	// NodeExhaustions counts candidate-exhaustion events per node: how often
+	// each constraint ran out of candidates and forced the search to retreat
+	// (empty in portfolio mode, like the per-node counters above).
+	NodeExhaustions map[int]int `json:"node_exhaustions,omitempty"`
 	// PortfolioWorkers is the number of concurrent searches (0 = sequential).
 	PortfolioWorkers int `json:"portfolio_workers,omitempty"`
 	// WinnerWorker and WinnerStrategy identify the portfolio winner;
@@ -312,6 +366,11 @@ func (r *Recorder) Trace(ev Event) {
 	case KindCacheHit:
 		r.m.CandidateCacheHits++
 		r.m.CandidatesTried += ev.N
+	case KindExhausted:
+		if r.m.NodeExhaustions == nil {
+			r.m.NodeExhaustions = make(map[int]int)
+		}
+		r.m.NodeExhaustions[ev.Node]++
 	case KindProgress:
 		r.m.Steps = ev.Steps
 		r.m.Backtracks = ev.Backtracks
@@ -342,6 +401,7 @@ func (r *Recorder) Snapshot() *RunMetrics {
 	m.Phases = append([]PhaseTiming(nil), r.m.Phases...)
 	m.NodeAssigns = copyCounts(r.m.NodeAssigns)
 	m.NodeBacktracks = copyCounts(r.m.NodeBacktracks)
+	m.NodeExhaustions = copyCounts(r.m.NodeExhaustions)
 	return &m
 }
 
@@ -358,10 +418,14 @@ func copyCounts(src map[int]int) map[int]int {
 
 // WriterTracer logs events as text lines, one per event. By default only
 // phase boundaries and portfolio outcomes are printed; Verbose additionally
-// prints per-node search events (very chatty on hard instances).
+// prints per-node search events (very chatty on hard instances). Each event
+// is rendered into a private buffer and issued as a single Write, so trace
+// lines never shear with other writers — slog, the engine's own stderr
+// output — sharing the destination.
 type WriterTracer struct {
 	mu      sync.Mutex
 	w       io.Writer
+	buf     []byte
 	start   time.Time
 	Verbose bool
 }
@@ -377,25 +441,44 @@ func (t *WriterTracer) Trace(ev Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	at := time.Since(t.start)
+	b := t.buf[:0]
 	switch ev.Kind {
 	case KindPhaseStart:
-		fmt.Fprintf(t.w, "trace %10s  phase %-11s start\n", at.Round(time.Microsecond), ev.Phase)
+		b = fmt.Appendf(b, "trace %10s  phase %-11s start\n", at.Round(time.Microsecond), ev.Phase)
 	case KindPhaseEnd:
-		fmt.Fprintf(t.w, "trace %10s  phase %-11s end   %v\n", at.Round(time.Microsecond), ev.Phase, ev.Elapsed.Round(time.Microsecond))
+		b = fmt.Appendf(b, "trace %10s  phase %-11s end   %v\n", at.Round(time.Microsecond), ev.Phase, ev.Elapsed.Round(time.Microsecond))
 	case KindWorkerWin:
-		fmt.Fprintf(t.w, "trace %10s  portfolio worker %d (%s) won\n", at.Round(time.Microsecond), ev.N, ev.Strategy)
+		b = fmt.Appendf(b, "trace %10s  portfolio worker %d (%s) won\n", at.Round(time.Microsecond), ev.N, ev.Strategy)
 	case KindProgress:
 		if !t.Verbose {
 			return
 		}
-		fmt.Fprintf(t.w, "trace %10s  progress steps=%d backtracks=%d depth=%d worker=%d\n",
+		b = fmt.Appendf(b, "trace %10s  progress steps=%d backtracks=%d depth=%d worker=%d\n",
 			at.Round(time.Microsecond), ev.Steps, ev.Backtracks, ev.Depth, ev.Worker)
+	case KindExhausted:
+		if !t.Verbose {
+			return
+		}
+		b = fmt.Appendf(b, "trace %10s  exhausted node=%d tried=%d enumerated=%d rejected-upper=%d rejected-overlap=%d blocker=%d depth=%d\n",
+			at.Round(time.Microsecond), ev.Node, ev.N, ev.Enumerated, ev.RejectedUpper, ev.RejectedOverlap, ev.Blocker, ev.Depth)
+	case KindNode:
+		if !t.Verbose {
+			return
+		}
+		b = fmt.Appendf(b, "trace %10s  node %d (%s) neighbors=%d\n", at.Round(time.Microsecond), ev.Node, ev.Label, ev.N)
+	case KindEdge:
+		if !t.Verbose {
+			return
+		}
+		b = fmt.Appendf(b, "trace %10s  edge %d-%d conflict=%.3f\n", at.Round(time.Microsecond), ev.Node, ev.N, ev.Conflict)
 	default:
 		if !t.Verbose {
 			return
 		}
-		fmt.Fprintf(t.w, "trace %10s  %s node=%d n=%d\n", at.Round(time.Microsecond), ev.Kind, ev.Node, ev.N)
+		b = fmt.Appendf(b, "trace %10s  %s node=%d n=%d\n", at.Round(time.Microsecond), ev.Kind, ev.Node, ev.N)
 	}
+	t.buf = b
+	t.w.Write(b)
 }
 
 // FormatPhaseSeconds renders a phase→seconds map deterministically (phase

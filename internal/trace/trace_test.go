@@ -83,6 +83,50 @@ func TestWriterTracer(t *testing.T) {
 	}
 }
 
+// countingWriter records every Write call it receives.
+type countingWriter struct {
+	writes []string
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes = append(c.writes, string(p))
+	return len(p), nil
+}
+
+// TestWriterTracerAtomicWrites pins the stderr-interleaving fix: every
+// rendered event must reach the underlying writer as exactly one Write call
+// (one complete line), so -trace output cannot shear with slog lines sharing
+// the same file descriptor.
+func TestWriterTracerAtomicWrites(t *testing.T) {
+	var cw countingWriter
+	w := NewWriter(&cw)
+	w.Verbose = true
+	events := []Event{
+		{Kind: KindPhaseStart, Phase: PhaseColor},
+		{Kind: KindAssign, Node: 7, Depth: 2, Span: 3, Parent: 1},
+		{Kind: KindCandidates, Node: 7, N: 4},
+		{Kind: KindCacheHit, Node: 7, N: 4},
+		{Kind: KindExhausted, Node: 7, Enumerated: 4, RejectedUpper: 2, Blocker: 1},
+		{Kind: KindBacktrack, Node: 7, Span: 3},
+		{Kind: KindNode, Node: 0, Label: "ETH[Asian], 2, 5", N: 2},
+		{Kind: KindEdge, Node: 0, N: 2, Conflict: 0.5},
+		{Kind: KindProgress, Steps: 100, Backtracks: 3, Worker: -1},
+		{Kind: KindPhaseEnd, Phase: PhaseColor, Elapsed: time.Millisecond},
+		{Kind: KindWorkerWin, N: 1, Strategy: "Basic"},
+	}
+	for _, ev := range events {
+		w.Trace(ev)
+	}
+	if len(cw.writes) != len(events) {
+		t.Fatalf("%d events produced %d Write calls; each event must be one atomic write", len(events), len(cw.writes))
+	}
+	for i, s := range cw.writes {
+		if !strings.HasSuffix(s, "\n") || strings.Count(s, "\n") != 1 {
+			t.Fatalf("write %d is not exactly one line: %q", i, s)
+		}
+	}
+}
+
 func TestEventKindString(t *testing.T) {
 	kinds := []EventKind{KindPhaseStart, KindPhaseEnd, KindAssign, KindBacktrack, KindCandidates, KindCacheHit, KindWorkerWin}
 	seen := map[string]bool{}
