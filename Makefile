@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare obs-smoke profile-smoke verify fuzz-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke obs-smoke profile-smoke verify fuzz-smoke ci
 
 # Minimum statement coverage for the verification subsystem itself — the
 # checker that everything else leans on must stay tested.
@@ -61,6 +61,33 @@ bench-compare:
 	@command -v benchstat >/dev/null 2>&1 || { \
 		echo "benchstat not found; install golang.org/x/perf/cmd/benchstat"; exit 1; }
 	benchstat $(BENCH_OLD) $(BENCH_NEW)
+
+# bench-baseline regenerates BENCH_baseline.json: the baseline-partitioner
+# comparison (parallel/sequential Mondrian, indexed/sampled k-member) at
+# scale 0.5 on the census profile, every output gated through the invariant
+# checker. Commit the refreshed snapshot when baseline-phase performance
+# changes.
+bench-baseline:
+	$(GO) run ./cmd/divabench -exp baseline -scale 0.5 -bench-out BENCH_baseline.json
+
+# baseline-smoke runs cmd/diva end to end at scale 0.05 under -verify with
+# both the sequential and the parallel default partitioner settings, and
+# checks the two outputs are byte-identical (the parallel Mondrian
+# determinism contract at the CLI level).
+baseline-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$(GO) build -o $$tmp/datagen ./cmd/datagen; \
+	$$tmp/datagen -profile census -rows 15000 -seed 7 >$$tmp/census.csv; \
+	$$tmp/diva -in $$tmp/census.csv -k 10 -seed 7 -parallelism 1 -verify \
+		>$$tmp/seq.csv || { echo "baseline-smoke: sequential run failed"; exit 1; }; \
+	$$tmp/diva -in $$tmp/census.csv -k 10 -seed 7 -verify \
+		>$$tmp/par.csv || { echo "baseline-smoke: parallel run failed"; exit 1; }; \
+	cmp -s $$tmp/seq.csv $$tmp/par.csv || { \
+		echo "baseline-smoke: parallel output differs from sequential"; exit 1; }; \
+	[ -s $$tmp/seq.csv ] || { echo "baseline-smoke: empty output"; exit 1; }; \
+	echo "baseline-smoke: ok (sequential and parallel outputs identical, -verify clean)"
 
 # obs-smoke exercises the ops layer end to end: it runs cmd/diva with
 # -listen on an ephemeral port against the paper's example (testdata/), keeps
@@ -157,4 +184,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
 
-ci: fmt-check vet build test race verify obs-smoke profile-smoke
+ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke

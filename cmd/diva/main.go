@@ -4,7 +4,7 @@
 // Usage:
 //
 //	diva -in data.csv -constraints sigma.txt -k 10 [-strategy MaxFanOut]
-//	     [-seed 1] [-baseline k-member] [-verify] [-stats]
+//	     [-seed 1] [-baseline mondrian] [-parallelism 4] [-verify] [-stats]
 //	     [-timeout 30s] [-trace] [-metrics] [-profile out.json] [-explain]
 //	     [-listen 127.0.0.1:9090] [-hold 30s] [-log-format text|json]
 //
@@ -70,7 +70,8 @@ func main() {
 		k           = flag.Int("k", 3, "privacy parameter: minimum QI-group size")
 		strategy    = flag.String("strategy", "MaxFanOut", "node-selection strategy: Basic, MinChoice or MaxFanOut")
 		seed        = flag.Uint64("seed", 1, "random seed for reproducible runs")
-		baseline    = flag.String("baseline", "k-member", "off-the-shelf anonymizer: k-member, oka or mondrian")
+		baseline    = flag.String("baseline", "mondrian", "off-the-shelf anonymizer: mondrian, k-member or oka")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the mondrian baseline partitioner (0 = GOMAXPROCS)")
 		verifyFlag  = flag.Bool("verify", false, "re-check every published relation (k-anonymity, R ⊑ R', Σ, l-diversity, ★ accounting) before printing")
 		stats       = flag.Bool("stats", false, "print metrics to stderr")
 		ldiv        = flag.Int("ldiversity", 0, "additionally require distinct l-diversity with this l (0 = off)")
@@ -161,6 +162,7 @@ func main() {
 		Baseline:    bl,
 		LDiversity:  *ldiv,
 		Parallel:    *parallel,
+		Parallelism: *parallelism,
 		Hierarchies: hs,
 	}
 	var tracers []diva.Tracer

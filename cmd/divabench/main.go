@@ -40,6 +40,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "random seed (0 = harness default)")
 		k        = flag.Int("k", 0, "default privacy parameter k (0 = harness default 10)")
 		sigma    = flag.Int("sigma", 0, "default |Sigma| (0 = harness default 8)")
+		baseline = flag.String("baseline", "", "rest-row partitioner for DIVA runs: empty = engine default (parallel mondrian), k-member = pre-API sampled greedy")
 		csvOut   = flag.Bool("csv", false, "emit CSV series instead of aligned text")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with every table and its phase breakdown")
 		outDir   = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
@@ -53,6 +54,7 @@ func main() {
 		Seed:           *seed,
 		K:              *k,
 		NumConstraints: *sigma,
+		Baseline:       *baseline,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

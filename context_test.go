@@ -30,6 +30,21 @@ type traceFunc func(diva.Event)
 
 func (f traceFunc) Trace(ev diva.Event) { f(ev) }
 
+// blockingPartitioner implements diva.Partitioner; Partition blocks until
+// its context is canceled and returns the context's error, simulating a
+// baseline that cannot finish before a deadline.
+type blockingPartitioner struct{}
+
+func (blockingPartitioner) Name() string { return "blocking" }
+
+func (blockingPartitioner) Partition(ctx context.Context, rel *diva.Relation, rows []int, k int) ([][]int, error) {
+	if ctx == nil {
+		return nil, errors.New("blockingPartitioner needs a context")
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
 // TestAnonymizeContextPreCanceled is the promptness contract: a context
 // that is already canceled must return ErrCanceled without touching the
 // data, even on a 10k-row relation.
@@ -94,16 +109,20 @@ func TestAnonymizeContextMidSearchCancel(t *testing.T) {
 }
 
 // TestAnonymizeContextDeadlineExceeded lets a deadline expire during the
-// baseline phase (exact k-member on 10k rows runs for seconds) and checks
-// the run stops promptly with ErrCanceled wrapping DeadlineExceeded.
+// baseline phase and checks the run stops promptly with ErrCanceled
+// wrapping DeadlineExceeded. The baseline is a stub partitioner that
+// blocks until the context dies, so the test is deterministic on any
+// machine (the built-in baselines can finish 10k rows inside the
+// deadline).
 func TestAnonymizeContextDeadlineExceeded(t *testing.T) {
 	rel := censusRelation(t, 10000)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	// SampleCap 0 selects exact greedy k-member: O(n²) on the ~10k tuples
-	// outside the diverse clustering, far beyond the deadline.
-	res, err := diva.AnonymizeContext(ctx, rel, censusSigma(), diva.Options{K: 5, Seed: 1, SampleCap: 0})
+	res, err := diva.AnonymizeContext(ctx, rel, censusSigma(), diva.Options{
+		K: 5, Seed: 1,
+		Anonymizer: blockingPartitioner{},
+	})
 	elapsed := time.Since(start)
 	if !errors.Is(err, diva.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
@@ -228,14 +247,15 @@ func TestPortfolioCancel(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	res, err := diva.AnonymizeContext(ctx, rel, censusSigma(), diva.Options{
-		K:         5,
-		Seed:      1,
-		Parallel:  4,
-		SampleCap: 0, // exact k-member: the deadline expires mid-run
+		K:        5,
+		Seed:     1,
+		Parallel: 4,
+		// The blocking baseline guarantees the run cannot finish before the
+		// deadline even on a fast machine, so the cancellation path is always
+		// exercised (during the search when it is slow, at the baseline phase
+		// otherwise).
+		Anonymizer: blockingPartitioner{},
 	})
-	if err == nil {
-		return // fast machine finished first; nothing to assert
-	}
 	if !errors.Is(err, diva.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
@@ -269,7 +289,7 @@ func TestParseBaseline(t *testing.T) {
 		in   string
 		want diva.Baseline
 	}{
-		{"", diva.KMember},
+		{"", diva.Mondrian},
 		{"k-member", diva.KMember},
 		{"kmember", diva.KMember},
 		{"KMember", diva.KMember},
@@ -291,8 +311,8 @@ func TestParseBaseline(t *testing.T) {
 	if _, err := diva.ParseBaseline("magic"); !errors.As(err, &ub) {
 		t.Fatalf("want UnknownBaselineError, got %v", err)
 	}
-	if got := diva.Baseline("").String(); got != "k-member" {
-		t.Fatalf("zero Baseline String() = %q, want k-member", got)
+	if got := diva.Baseline("").String(); got != "mondrian" {
+		t.Fatalf("zero Baseline String() = %q, want mondrian", got)
 	}
 	if got := diva.OKA.String(); got != "oka" {
 		t.Fatalf("OKA.String() = %q", got)
@@ -309,16 +329,29 @@ func TestParseBaseline(t *testing.T) {
 // into the partitioner, and both reject OKA (which cannot enforce one).
 func TestBaselineLDiversityCriterion(t *testing.T) {
 	rel := loadPatients(t)
-	out, err := diva.AnonymizeBaseline(rel, diva.KMember, diva.Options{K: 2, LDiversity: 2, Seed: 4})
+	out, err := diva.AnonymizeBaselineContext(context.Background(), rel, diva.KMember, diva.Options{K: 2, LDiversity: 2, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !diva.IsLDiverse(out, 2) {
 		t.Fatal("k-member baseline output not 2-diverse despite LDiversity option")
 	}
-	var ub *diva.UnknownBaselineError
-	if _, err := diva.AnonymizeBaseline(rel, diva.OKA, diva.Options{K: 2, LDiversity: 2}); !errors.As(err, &ub) {
-		t.Fatalf("OKA with l-diversity: want UnknownBaselineError, got %v", err)
+	var ub *diva.UnsupportedBaselineError
+	if _, err := diva.AnonymizeBaselineContext(context.Background(), rel, diva.OKA, diva.Options{K: 2, LDiversity: 2}); !errors.As(err, &ub) {
+		t.Fatalf("OKA with l-diversity: want UnsupportedBaselineError, got %v", err)
+	} else {
+		if ub.Baseline != diva.OKA {
+			t.Fatalf("UnsupportedBaselineError.Baseline = %q, want oka", ub.Baseline)
+		}
+		if ub.Reason == "" {
+			t.Fatal("UnsupportedBaselineError.Reason empty")
+		}
+	}
+	// A genuinely unknown name still reports UnknownBaselineError — the two
+	// error paths stay distinct.
+	var unk *diva.UnknownBaselineError
+	if _, err := diva.AnonymizeBaselineContext(context.Background(), rel, diva.Baseline("magic"), diva.Options{K: 2}); !errors.As(err, &unk) {
+		t.Fatalf("unknown baseline: want UnknownBaselineError, got %v", err)
 	}
 }
 

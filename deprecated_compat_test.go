@@ -1,0 +1,60 @@
+package diva_test
+
+// Compatibility tests for the deprecated context-free entry points. These are
+// the only tests that may call diva.Anonymize / diva.AnonymizeBaseline; all
+// other callers use the ...Context variants.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"diva"
+)
+
+// TestDeprecatedAnonymizeCompat: the deprecated wrapper must keep producing
+// exactly what AnonymizeContext(context.Background(), ...) produces.
+func TestDeprecatedAnonymizeCompat(t *testing.T) {
+	opts := diva.Options{K: 2, Strategy: diva.MaxFanOut, Seed: 1}
+	oldRes, err := diva.Anonymize(loadPatients(t), paperConstraints(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := diva.AnonymizeContext(context.Background(), loadPatients(t), paperConstraints(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldCSV, newCSV bytes.Buffer
+	if err := diva.WriteCSV(&oldCSV, oldRes.Output); err != nil {
+		t.Fatal(err)
+	}
+	if err := diva.WriteCSV(&newCSV, newRes.Output); err != nil {
+		t.Fatal(err)
+	}
+	if oldCSV.String() != newCSV.String() {
+		t.Fatal("deprecated Anonymize diverged from AnonymizeContext")
+	}
+}
+
+// TestDeprecatedAnonymizeBaselineCompat: same for the baseline-only wrapper.
+func TestDeprecatedAnonymizeBaselineCompat(t *testing.T) {
+	opts := diva.Options{K: 3, Seed: 2}
+	oldOut, err := diva.AnonymizeBaseline(loadPatients(t), diva.KMember, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newOut, err := diva.AnonymizeBaselineContext(context.Background(), loadPatients(t), diva.KMember, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldCSV, newCSV bytes.Buffer
+	if err := diva.WriteCSV(&oldCSV, oldOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := diva.WriteCSV(&newCSV, newOut); err != nil {
+		t.Fatal(err)
+	}
+	if oldCSV.String() != newCSV.String() {
+		t.Fatal("deprecated AnonymizeBaseline diverged from AnonymizeBaselineContext")
+	}
+}

@@ -32,9 +32,23 @@
 // at search-step granularity (the coloring) and split granularity (the
 // baseline partitioners), returning an error wrapping both ErrCanceled and
 // the context's own error; the Result returned alongside it is non-nil and
-// carries the partial RunMetrics. Anonymize is a thin wrapper over
-// context.Background() kept for existing callers — migrating is a
-// mechanical ctx-first argument insertion, no other call-site change.
+// carries the partial RunMetrics. Anonymize and AnonymizeBaseline are
+// deprecated thin wrappers over context.Background() kept for existing
+// callers — migrating is a mechanical ctx-first argument insertion, no
+// other call-site change.
+//
+// # Baseline partitioners
+//
+// Tuples outside the diverse clustering are k-anonymized by a baseline
+// partitioner. The default is parallel Mondrian (deterministic output at
+// any Options.Parallelism); Options.Baseline selects k-member or OKA
+// instead, and Options.Anonymizer accepts any Partitioner implementation:
+//
+//	p, _ := diva.NewBaseline(diva.KMember)       // a built-in to decorate
+//	res, err := diva.AnonymizeContext(ctx, rel, sigma, diva.Options{
+//		K:          3,
+//		Anonymizer: myDecorator{p},              // overrides Baseline
+//	})
 //
 // Set Options.Tracer to observe a run: phase boundaries (bind, build-graph,
 // color, suppress, baseline, integrate, verify), per-node assign/backtrack
@@ -170,6 +184,11 @@ const (
 	// portfolio mode heartbeats reach the Tracer concurrently from every
 	// worker; handle at least this kind in a goroutine-safe way.
 	KindProgress = trace.KindProgress
+	// KindSplit reports one recursive cut of the baseline partitioner:
+	// the cut attribute (Label, "" for a leaf), partition size (N),
+	// recursion depth and cut wall time. The engine serializes these before
+	// they reach a Tracer, even when Mondrian runs parallel.
+	KindSplit = trace.KindSplit
 )
 
 // Run phases, in execution order.
@@ -255,43 +274,71 @@ func ParseConstraint(line string) (Constraint, error) { return constraint.Parse(
 // ParseConstraints reads one constraint per line; '#' starts a comment.
 func ParseConstraints(r io.Reader) (Constraints, error) { return constraint.ParseSet(r) }
 
+// Partitioner is the pluggable baseline contract: it groups rows of a
+// relation into clusters of at least k members, which the engine then
+// renders k-anonymous by suppression. Set one on Options.Anonymizer to
+// replace the built-in baselines entirely, or wrap the result of
+// NewBaseline to decorate a built-in (caching, logging, fallback chains).
+// Implementations must honor the documented contract: an error when
+// 0 < len(rows) < k, an empty partition for no rows, prompt return of
+// ctx.Err() after cancellation, and tolerance of a nil ctx.
+type Partitioner = anon.Partitioner
+
 // Baseline selects an off-the-shelf k-anonymization algorithm. The type is
 // string-backed so existing code assigning string literals ("oka") keeps
 // compiling; prefer the typed constants, and use ParseBaseline for
-// user-supplied spellings.
+// user-supplied spellings. The enum is sugar over the Partitioner
+// interface: NewBaseline turns a Baseline into the Partitioner the engine
+// would construct for it.
 type Baseline string
 
 // The supported baseline algorithms.
 const (
-	// KMember is the greedy k-member clustering of Byun et al. (default).
+	// KMember is the greedy k-member clustering of Byun et al. — the
+	// paper's quality-sensitive choice, served by a signature index in
+	// exact mode.
 	KMember Baseline = "k-member"
 	// OKA is the one-pass k-means algorithm of Lin and Wei.
 	OKA Baseline = "oka"
-	// Mondrian is the multidimensional median partitioning of LeFevre et al.
+	// Mondrian is the multidimensional median partitioning of LeFevre et
+	// al. (default), parallelized across Options.Parallelism workers.
 	Mondrian Baseline = "mondrian"
 )
 
-// String returns the canonical spelling; the zero value reads as KMember.
+// String returns the canonical spelling; the zero value reads as Mondrian.
 func (b Baseline) String() string {
 	if b == "" {
-		return string(KMember)
+		return string(Mondrian)
 	}
 	return string(b)
 }
 
 // ParseBaseline maps a user-supplied name to a Baseline. It accepts the
 // canonical spellings, legacy variants ("kmember", "Mondrian", "OKA") and
-// any case; the empty string parses as KMember.
+// any case; the empty string parses as Mondrian, the default.
 func ParseBaseline(s string) (Baseline, error) {
 	switch strings.ToLower(s) {
-	case "", "k-member", "kmember":
+	case "", "mondrian":
+		return Mondrian, nil
+	case "k-member", "kmember":
 		return KMember, nil
 	case "oka":
 		return OKA, nil
-	case "mondrian":
-		return Mondrian, nil
 	}
 	return "", &UnknownBaselineError{Name: s}
+}
+
+// NewBaseline returns the Partitioner the engine constructs for b with
+// default options: parallel Mondrian at GOMAXPROCS, exact (indexed)
+// k-member, or OKA, each seeded deterministically from Seed 0. Callers who
+// need a different seed, sample cap, parallelism or privacy criterion
+// should construct via Options (whose Baseline field goes through the same
+// path) or supply their own Partitioner on Options.Anonymizer. The returned
+// Partitioner is ready to compose: wrap it and set the wrapper on
+// Options.Anonymizer.
+func NewBaseline(b Baseline) (Partitioner, error) {
+	o := Options{Baseline: b}
+	return o.newPartitioner(o.rng(), nil)
 }
 
 // Options configures Anonymize.
@@ -309,13 +356,27 @@ type Options struct {
 	// MaxSteps caps coloring search steps (0 = 1,000,000).
 	MaxSteps int
 	// Baseline selects the off-the-shelf anonymizer for tuples outside the
-	// diverse clustering: KMember (default), OKA or Mondrian. String
+	// diverse clustering: Mondrian (default), KMember or OKA. String
 	// literals still assign (the type is string-backed); ParseBaseline
-	// normalizes legacy spellings.
+	// normalizes legacy spellings. Ignored when Anonymizer is non-nil.
 	Baseline Baseline
-	// SampleCap bounds k-member's greedy candidate scans (0 = exact). The
-	// experiment harness uses 512 on large relations.
+	// Anonymizer, when non-nil, replaces the Baseline enum with a caller-
+	// supplied Partitioner for the tuples outside the diverse clustering.
+	// The partitioner must enforce any privacy criterion itself (the engine
+	// re-verifies the final output regardless); SampleCap, Parallelism and
+	// LDiversity do not reach it. Partitioners implementing the anon
+	// package's TraceSink receive the run's tracer before the baseline
+	// phase.
+	Anonymizer Partitioner
+	// SampleCap bounds k-member's greedy candidate scans (0 = exact, served
+	// by the signature index). The experiment harness uses 512 on large
+	// relations.
 	SampleCap int
+	// Parallelism bounds the Mondrian baseline's worker goroutines: 0 means
+	// GOMAXPROCS, 1 forces sequential partitioning. The partition is
+	// byte-identical at every setting. It has no effect on the other
+	// baselines or on a caller-supplied Anonymizer.
+	Parallelism int
 	// LDiversity, when ≥ 2, additionally requires distinct l-diversity:
 	// every QI-group of the output must carry at least LDiversity distinct
 	// values of every sensitive attribute.
@@ -348,10 +409,11 @@ func (o Options) criterion() privacy.Criterion {
 }
 
 // newPartitioner is the single construction point for baseline
-// partitioners, shared by AnonymizeContext and AnonymizeBaselineContext so
-// the two paths cannot diverge on criterion handling: every baseline
-// receives the privacy criterion, and OKA — which cannot enforce one — is
-// rejected rather than silently weakened.
+// partitioners, shared by AnonymizeContext, AnonymizeBaselineContext and
+// NewBaseline so the paths cannot diverge on criterion handling: every
+// baseline receives the privacy criterion, and OKA — which cannot enforce
+// one — is rejected with UnsupportedBaselineError rather than silently
+// weakened.
 func (o Options) newPartitioner(rng *rand.Rand, crit privacy.Criterion) (anon.Partitioner, error) {
 	b, err := ParseBaseline(string(o.Baseline))
 	if err != nil {
@@ -361,10 +423,10 @@ func (o Options) newPartitioner(rng *rand.Rand, crit privacy.Criterion) (anon.Pa
 	case KMember:
 		return &anon.KMember{Rng: rng, SampleCap: o.SampleCap, Criterion: crit}, nil
 	case Mondrian:
-		return &anon.Mondrian{Criterion: crit}, nil
+		return &anon.Mondrian{Criterion: crit, Parallelism: o.Parallelism}, nil
 	case OKA:
 		if crit != nil {
-			return nil, &UnknownBaselineError{Name: string(o.Baseline) + " (OKA does not support l-diversity; use k-member or mondrian)"}
+			return nil, &UnsupportedBaselineError{Baseline: OKA, Reason: "OKA cannot enforce l-diversity; use k-member or mondrian"}
 		}
 		return &anon.OKA{Rng: rng}, nil
 	}
@@ -381,9 +443,13 @@ func (o Options) newPartitioner(rng *rand.Rand, crit privacy.Criterion) (anon.Pa
 func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opts Options) (*Result, error) {
 	rng := opts.rng()
 	crit := opts.criterion()
-	p, err := opts.newPartitioner(rng, crit)
-	if err != nil {
-		return nil, err
+	p := opts.Anonymizer
+	if p == nil {
+		var err error
+		p, err = opts.newPartitioner(rng, crit)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return core.Anonymize(ctx, rel, sigma, core.Options{
 		K:           opts.K,
@@ -392,6 +458,7 @@ func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opt
 		Cluster:     cluster.Options{MaxCandidates: opts.MaxCandidates},
 		MaxSteps:    opts.MaxSteps,
 		Anonymizer:  p,
+		Parallelism: opts.Parallelism,
 		Criterion:   crit,
 		Parallel:    opts.Parallel,
 		Hierarchies: opts.Hierarchies,
@@ -399,9 +466,13 @@ func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opt
 	})
 }
 
-// Anonymize runs DIVA without cancellation; it is AnonymizeContext with
-// context.Background() and is kept for callers that have no context to
-// thread.
+// Anonymize runs DIVA without cancellation.
+//
+// Deprecated: use AnonymizeContext, which cancels the run at search-step
+// and split granularity and reports partial metrics on abort; pass
+// context.Background() for the exact behavior of this function. Anonymize
+// is kept so existing callers compile, and is exercised only by its own
+// compatibility tests.
 func Anonymize(rel *Relation, sigma Constraints, opts Options) (*Result, error) {
 	return AnonymizeContext(context.Background(), rel, sigma, opts)
 }
@@ -436,19 +507,29 @@ func IsLDiverse(rel *Relation, l int) bool {
 // constraints, returning the suppressed k-anonymous relation. It honors
 // Options.LDiversity exactly as AnonymizeContext does — the partitioner
 // enforces the criterion, and OKA rejects it — and reports cancellation as
-// an error wrapping ErrCanceled.
+// an error wrapping ErrCanceled. A non-nil Options.Anonymizer overrides the
+// baseline argument entirely, exactly as it overrides Options.Baseline in
+// AnonymizeContext.
 func AnonymizeBaselineContext(ctx context.Context, rel *Relation, baseline Baseline, opts Options) (*Relation, error) {
-	rng := opts.rng()
-	o := opts
-	o.Baseline = baseline
-	p, err := o.newPartitioner(rng, o.criterion())
-	if err != nil {
-		return nil, err
+	p := opts.Anonymizer
+	if p == nil {
+		rng := opts.rng()
+		o := opts
+		o.Baseline = baseline
+		var err error
+		if p, err = o.newPartitioner(rng, o.criterion()); err != nil {
+			return nil, err
+		}
 	}
 	return core.RunBaseline(ctx, rel, p, opts.K, opts.Tracer)
 }
 
-// AnonymizeBaseline is AnonymizeBaselineContext with context.Background().
+// AnonymizeBaseline runs a classical k-anonymizer without cancellation.
+//
+// Deprecated: use AnonymizeBaselineContext, which cancels the partitioner
+// at split granularity; pass context.Background() for the exact behavior
+// of this function. AnonymizeBaseline is kept so existing callers compile,
+// and is exercised only by its own compatibility tests.
 func AnonymizeBaseline(rel *Relation, baseline Baseline, opts Options) (*Relation, error) {
 	return AnonymizeBaselineContext(context.Background(), rel, baseline, opts)
 }
@@ -458,6 +539,20 @@ type UnknownBaselineError struct{ Name string }
 
 func (e *UnknownBaselineError) Error() string {
 	return "diva: unknown baseline algorithm " + e.Name + ` (want "k-member", "oka" or "mondrian")`
+}
+
+// UnsupportedBaselineError reports a recognized baseline that cannot run
+// under the requested options (for example OKA with an l-diversity
+// criterion, which its one-pass structure cannot enforce).
+type UnsupportedBaselineError struct {
+	// Baseline is the recognized-but-rejected algorithm.
+	Baseline Baseline
+	// Reason explains the incompatibility.
+	Reason string
+}
+
+func (e *UnsupportedBaselineError) Error() string {
+	return "diva: baseline " + string(e.Baseline) + " unsupported under these options: " + e.Reason
 }
 
 // Verify checks that res is a valid (k, Σ)-anonymization of orig: R ⊑ R′

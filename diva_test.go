@@ -2,6 +2,7 @@ package diva_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func paperConstraints() diva.Constraints {
 func TestPublicAnonymize(t *testing.T) {
 	rel := loadPatients(t)
 	sigma := paperConstraints()
-	res, err := diva.Anonymize(rel, sigma, diva.Options{K: 2, Strategy: diva.MaxFanOut, Seed: 1})
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 2, Strategy: diva.MaxFanOut, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestPublicAnonymizeDeterministicSeed(t *testing.T) {
 	var outs [2]*bytes.Buffer
 	for i := range outs {
 		rel := loadPatients(t)
-		res, err := diva.Anonymize(rel, sigma, diva.Options{K: 2, Strategy: diva.Basic, Seed: 7})
+		res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 2, Strategy: diva.Basic, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestPublicAnonymizeDeterministicSeed(t *testing.T) {
 func TestPublicUnsatisfiable(t *testing.T) {
 	rel := loadPatients(t)
 	sigma := diva.Constraints{diva.NewConstraint("ETH", "Asian", 9, 12)}
-	_, err := diva.Anonymize(rel, sigma, diva.Options{K: 2, Seed: 1})
+	_, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 2, Seed: 1})
 	if !errors.Is(err, diva.ErrNoDiverseClustering) {
 		t.Fatalf("err = %v", err)
 	}
@@ -95,7 +96,7 @@ func TestPublicUnsatisfiable(t *testing.T) {
 func TestPublicBaselines(t *testing.T) {
 	rel := loadPatients(t)
 	for _, name := range []diva.Baseline{diva.KMember, diva.OKA, diva.Mondrian} {
-		out, err := diva.AnonymizeBaseline(rel, name, diva.Options{K: 3, Seed: 2})
+		out, err := diva.AnonymizeBaselineContext(context.Background(), rel, name, diva.Options{K: 3, Seed: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -103,11 +104,11 @@ func TestPublicBaselines(t *testing.T) {
 			t.Fatalf("%s output not 3-anonymous", name)
 		}
 	}
-	if _, err := diva.AnonymizeBaseline(rel, "magic", diva.Options{K: 3}); err == nil {
+	if _, err := diva.AnonymizeBaselineContext(context.Background(), rel, "magic", diva.Options{K: 3}); err == nil {
 		t.Fatal("unknown baseline accepted")
 	}
 	var ub *diva.UnknownBaselineError
-	if _, err := diva.Anonymize(rel, nil, diva.Options{K: 3, Baseline: "magic"}); !errors.As(err, &ub) {
+	if _, err := diva.AnonymizeContext(context.Background(), rel, nil, diva.Options{K: 3, Baseline: "magic"}); !errors.As(err, &ub) {
 		t.Fatalf("want UnknownBaselineError, got %v", err)
 	}
 }
@@ -164,7 +165,7 @@ func TestPublicSchemaBuilding(t *testing.T) {
 
 func TestPublicLDiversity(t *testing.T) {
 	rel := loadPatients(t)
-	res, err := diva.Anonymize(rel, nil, diva.Options{K: 2, LDiversity: 2, Seed: 4})
+	res, err := diva.AnonymizeContext(context.Background(), rel, nil, diva.Options{K: 2, LDiversity: 2, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,16 +175,18 @@ func TestPublicLDiversity(t *testing.T) {
 	if !diva.IsKAnonymous(res.Output, 2) {
 		t.Fatal("output not 2-anonymous")
 	}
-	// OKA cannot enforce l-diversity and must be rejected up front.
-	if _, err := diva.Anonymize(rel, nil, diva.Options{K: 2, LDiversity: 2, Baseline: "oka", Seed: 4}); err == nil {
-		t.Fatal("OKA with l-diversity accepted")
+	// OKA cannot enforce l-diversity and must be rejected up front with the
+	// typed unsupported-combination error, not an unknown-name error.
+	var ub *diva.UnsupportedBaselineError
+	if _, err := diva.AnonymizeContext(context.Background(), rel, nil, diva.Options{K: 2, LDiversity: 2, Baseline: "oka", Seed: 4}); !errors.As(err, &ub) {
+		t.Fatalf("OKA with l-diversity: want UnsupportedBaselineError, got %v", err)
 	}
 }
 
 func TestPublicParallel(t *testing.T) {
 	rel := loadPatients(t)
 	sigma := paperConstraints()
-	res, err := diva.Anonymize(rel, sigma, diva.Options{K: 2, Parallel: 3, Seed: 5})
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 2, Parallel: 3, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +200,7 @@ func TestPublicSuppressionLoss(t *testing.T) {
 	if diva.SuppressionLoss(rel) != 0 {
 		t.Fatal("fresh relation has loss")
 	}
-	res, err := diva.Anonymize(rel, paperConstraints(), diva.Options{K: 2, Seed: 3, Strategy: diva.MinChoice})
+	res, err := diva.AnonymizeContext(context.Background(), rel, paperConstraints(), diva.Options{K: 2, Seed: 3, Strategy: diva.MinChoice})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -56,7 +57,7 @@ func main() {
 	fmt.Printf("\nconflict rate cf(Σ) = %.3f\n", cf)
 
 	// DIVA with the paper's best strategy.
-	res, err := diva.Anonymize(rel, sigma, diva.Options{
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{
 		K:         *k,
 		Strategy:  diva.MaxFanOut,
 		Seed:      99,
@@ -74,7 +75,7 @@ func main() {
 	fmt.Println("DIVA output satisfies every diversity constraint")
 
 	// Plain k-member for contrast.
-	plain, err := diva.AnonymizeBaseline(rel, "k-member", diva.Options{K: *k, Seed: 99, SampleCap: 512})
+	plain, err := diva.AnonymizeBaselineContext(context.Background(), rel, "k-member", diva.Options{K: *k, Seed: 99, SampleCap: 512})
 	if err != nil {
 		log.Fatal(err)
 	}

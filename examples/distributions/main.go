@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -45,7 +46,7 @@ func main() {
 
 		accs := make([]string, 0, 3)
 		for _, strat := range []diva.Strategy{diva.MinChoice, diva.MaxFanOut, diva.Basic} {
-			res, err := diva.Anonymize(rel, sigma, diva.Options{
+			res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{
 				K: *k, Strategy: strat, Seed: 17, SampleCap: 512,
 			})
 			if err != nil {

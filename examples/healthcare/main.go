@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,7 +24,7 @@ func main() {
 	printRelation(rel)
 
 	// Plain k-anonymization (what Table 2 shows): k = 3, no diversity.
-	plain, err := diva.AnonymizeBaseline(rel, "k-member", diva.Options{K: 3, Seed: 7})
+	plain, err := diva.AnonymizeBaselineContext(context.Background(), rel, "k-member", diva.Options{K: 3, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 		diva.NewConstraint("ETH", "African", 1, 3),   // σ2
 		diva.NewConstraint("CTY", "Vancouver", 2, 4), // σ3
 	}
-	res, err := diva.Anonymize(rel, sigma, diva.Options{K: 2, Strategy: diva.MinChoice, Seed: 7})
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 2, Strategy: diva.MinChoice, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -66,21 +67,21 @@ func main() {
 	}
 
 	// Regime 1: plain 8-anonymity (k-member).
-	plain, err := diva.AnonymizeBaseline(rel, "k-member", diva.Options{K: 8, Seed: 1, SampleCap: 256})
+	plain, err := diva.AnonymizeBaselineContext(context.Background(), rel, "k-member", diva.Options{K: 8, Seed: 1, SampleCap: 256})
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("k-anonymity", plain, sigma)
 
 	// Regime 2: 8-anonymity + diversity constraints (DIVA).
-	res, err := diva.Anonymize(rel, sigma, diva.Options{K: 8, Strategy: diva.MaxFanOut, Seed: 1, SampleCap: 256})
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 8, Strategy: diva.MaxFanOut, Seed: 1, SampleCap: 256})
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("+ diversity Σ", res.Output, sigma)
 
 	// Regime 3: the same plus distinct 2-diversity on DIAG and OCC.
-	res2, err := diva.Anonymize(rel, sigma, diva.Options{
+	res2, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{
 		K: 8, Strategy: diva.MaxFanOut, Seed: 1, SampleCap: 256, LDiversity: 2,
 	})
 	if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,7 +43,7 @@ Female,Asian,71,BC,Vancouver,Migraine
 		diva.NewConstraint("CTY", "Vancouver", 2, 4),
 	}
 
-	res, err := diva.Anonymize(rel, sigma, diva.Options{
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{
 		K:        2,
 		Strategy: diva.MaxFanOut,
 		Seed:     42,

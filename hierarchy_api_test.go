@@ -1,6 +1,7 @@
 package diva_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ West -> *
 	}
 	hs := diva.Hierarchies{"AGE": age, "PRV": prv}
 	sigma := paperConstraints()
-	res, err := diva.Anonymize(rel, sigma, diva.Options{
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{
 		K: 2, Strategy: diva.MaxFanOut, Seed: 9, Hierarchies: hs,
 	})
 	if err != nil {
@@ -40,7 +41,7 @@ West -> *
 		t.Fatalf("generalized output violates Σ (err=%v)", err)
 	}
 	// NCP under generalization must not exceed the plain suppression run's.
-	plain, err := diva.Anonymize(rel, sigma, diva.Options{K: 2, Strategy: diva.MaxFanOut, Seed: 9})
+	plain, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 2, Strategy: diva.MaxFanOut, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

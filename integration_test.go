@@ -6,6 +6,7 @@ package diva_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand/v2"
 	"strings"
@@ -34,7 +35,7 @@ func TestPipelinePopSyn(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := diva.Anonymize(rel, sigma, diva.Options{
+				res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{
 					K: 6, Strategy: strat, Seed: 11, SampleCap: 128,
 				})
 				if err != nil {
@@ -87,7 +88,7 @@ func TestPipelineConstraintClasses(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 2, SampleCap: 128})
+			res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 2, SampleCap: 128})
 			if err != nil {
 				t.Skipf("class %s produced an unsatisfiable set on this draw: %v", name, err)
 			}
@@ -136,7 +137,7 @@ func TestPipelineAllBaselinesAgainstConstraints(t *testing.T) {
 		t.Fatal("workload construction failed")
 	}
 
-	res, err := diva.Anonymize(rel, sigma, diva.Options{K: 8, Strategy: diva.MaxFanOut, Seed: 6, SampleCap: 128})
+	res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 8, Strategy: diva.MaxFanOut, Seed: 6, SampleCap: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestPipelineAllBaselinesAgainstConstraints(t *testing.T) {
 
 	violations := 0
 	for _, b := range []diva.Baseline{diva.KMember, diva.OKA, diva.Mondrian} {
-		out, err := diva.AnonymizeBaseline(rel, b, diva.Options{K: 8, Seed: 6, SampleCap: 128})
+		out, err := diva.AnonymizeBaselineContext(context.Background(), rel, b, diva.Options{K: 8, Seed: 6, SampleCap: 128})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,27 +165,27 @@ func TestFailureInjection(t *testing.T) {
 	rel := dataset.Credit().Generate(200, 3)
 
 	t.Run("k larger than relation", func(t *testing.T) {
-		_, err := diva.Anonymize(rel, nil, diva.Options{K: 500, Seed: 1})
+		_, err := diva.AnonymizeContext(context.Background(), rel, nil, diva.Options{K: 500, Seed: 1})
 		if !errors.Is(err, diva.ErrNoDiverseClustering) {
 			t.Fatalf("err = %v", err)
 		}
 	})
 	t.Run("constraint over unknown attribute", func(t *testing.T) {
 		sigma := diva.Constraints{diva.NewConstraint("GHOST", "x", 1, 5)}
-		if _, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 1}); err == nil {
+		if _, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 1}); err == nil {
 			t.Fatal("unknown attribute accepted")
 		}
 	})
 	t.Run("unseen value with positive floor", func(t *testing.T) {
 		sigma := diva.Constraints{diva.NewConstraint("SEX", "Other", 1, 5)}
-		_, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 1})
+		_, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 1})
 		if !errors.Is(err, diva.ErrNoDiverseClustering) {
 			t.Fatalf("err = %v", err)
 		}
 	})
 	t.Run("unseen value with zero floor", func(t *testing.T) {
 		sigma := diva.Constraints{diva.NewConstraint("SEX", "Other", 0, 5)}
-		res, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 1})
+		res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func TestFailureInjection(t *testing.T) {
 		// A QI target needing 1–3 preserved occurrences cannot be met with
 		// k = 5 clusters (any preserved cluster has ≥ 5 tuples).
 		sigma := diva.Constraints{diva.NewConstraint("SEX", "Male", 1, 3)}
-		_, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 1})
+		_, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 1})
 		if !errors.Is(err, diva.ErrNoDiverseClustering) {
 			t.Fatalf("err = %v", err)
 		}
@@ -207,7 +208,7 @@ func TestFailureInjection(t *testing.T) {
 			diva.NewConstraint("HOUSING", "Own", 10, 200),
 		}
 		// MaxSteps = 1 allows one assignment; two constraints need two.
-		_, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 1, MaxSteps: 1})
+		_, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 1, MaxSteps: 1})
 		if !errors.Is(err, diva.ErrNoDiverseClustering) {
 			t.Fatalf("err = %v", err)
 		}
@@ -231,7 +232,7 @@ func TestConflictSweepInvariant(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := diva.Anonymize(rel, sigma, diva.Options{K: 5, Seed: 3, SampleCap: 128})
+		res, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 5, Seed: 3, SampleCap: 128})
 		if err != nil {
 			continue
 		}
@@ -258,7 +259,7 @@ func TestStrategiesAgreeOnSatisfiability(t *testing.T) {
 		}
 		results := map[search.Strategy]bool{}
 		for _, strat := range []diva.Strategy{diva.Basic, diva.MinChoice, diva.MaxFanOut} {
-			_, err := diva.Anonymize(rel, sigma, diva.Options{K: 4, Strategy: strat, Seed: 21, SampleCap: 64})
+			_, err := diva.AnonymizeContext(context.Background(), rel, sigma, diva.Options{K: 4, Strategy: strat, Seed: 21, SampleCap: 64})
 			results[strat] = err == nil
 		}
 		if results[diva.Basic] != results[diva.MinChoice] || results[diva.MinChoice] != results[diva.MaxFanOut] {

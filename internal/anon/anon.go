@@ -20,6 +20,7 @@ import (
 	"math/rand/v2"
 
 	"diva/internal/relation"
+	"diva/internal/trace"
 )
 
 // Partitioner groups tuples into clusters of at least k members.
@@ -33,6 +34,15 @@ type Partitioner interface {
 	// context makes Partition return ctx.Err() promptly. A nil ctx never
 	// cancels.
 	Partition(ctx context.Context, rel *relation.Relation, rows []int, k int) ([][]int, error)
+}
+
+// TraceSink is implemented by partitioners that can report their internal
+// progress as trace events (Mondrian emits trace.KindSplit per recursive
+// cut). The engine injects its run tracer into any TraceSink anonymizer
+// before the baseline phase, so per-split timings land in the same event
+// stream as the coloring search.
+type TraceSink interface {
+	SetTracer(trace.Tracer)
 }
 
 // checkPartitionable validates the common preconditions.

@@ -24,10 +24,12 @@ type KMember struct {
 	// Rng drives the random choice of the first seed. Required.
 	Rng *rand.Rand
 	// SampleCap bounds the candidate pool scanned per greedy step. Zero
-	// means exact (scan all remaining records), faithful to the original
-	// O(n²) algorithm; large relations should set a cap (the experiment
-	// harness uses 512) for near-identical partitions at a fraction of the
-	// cost.
+	// means exact: every remaining record is considered at every step, as
+	// in the original O(n²) algorithm, served by the signature index in
+	// kmember_index.go (same greedy structure, deterministic smallest-row
+	// tie-breaks, far fewer candidate evaluations). A positive cap samples
+	// that many candidates per step (the experiment harness uses 512) for
+	// near-identical partitions whose cost is independent of n.
 	SampleCap int
 	// Criterion, when non-nil, is an additional monotone privacy
 	// requirement (e.g. privacy.DistinctLDiversity): clusters keep growing
@@ -50,6 +52,9 @@ func (km *KMember) Partition(ctx context.Context, rel *relation.Relation, rows [
 	}
 	if km.Criterion != nil && !km.Criterion.Monotone() {
 		return nil, fmt.Errorf("anon: k-member cannot enforce non-monotone criterion %s", km.Criterion.Name())
+	}
+	if km.SampleCap == 0 {
+		return km.partitionIndexed(ctx, rel, rows, k)
 	}
 	qi := rel.Schema().QIIndexes()
 	d := newDistancer(rel, rows)

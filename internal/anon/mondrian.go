@@ -3,10 +3,14 @@ package anon
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"diva/internal/privacy"
 	"diva/internal/relation"
+	"diva/internal/trace"
 )
 
 // Mondrian implements the strict multidimensional partitioning of LeFevre,
@@ -16,19 +20,44 @@ import (
 // value median; categorical attributes split on the frequency-sorted value
 // order (the standard adaptation for domains without user-supplied
 // hierarchies).
+//
+// The recursion is embarrassingly parallel: the two halves of a cut share no
+// state, so they are partitioned by independent worker goroutines when
+// Parallelism permits. The output is deterministic regardless of scheduling —
+// each split concatenates its left half's clusters before its right half's,
+// so the cluster order is the sequential depth-first order.
 type Mondrian struct {
 	// Criterion, when non-nil, is an additional privacy requirement: a cut
 	// is allowable only when both halves satisfy it (this supports
 	// non-monotone criteria such as t-closeness, checked per partition).
 	// The whole input must satisfy the criterion or partitioning fails.
 	Criterion privacy.Criterion
+	// Parallelism bounds the worker goroutines partitioning independent
+	// halves concurrently: 0 means GOMAXPROCS, 1 forces sequential
+	// execution, and values above GOMAXPROCS are clamped to it. The output
+	// is byte-identical at every setting.
+	Parallelism int
+	// Tracer, when non-nil, receives one trace.KindSplit event per cut made
+	// (Label = cut attribute, N = partition size, Depth = recursion depth,
+	// Elapsed = time spent finding the cut) and one per leaf emitted
+	// (Label = ""). Events are serialized internally, so any Tracer works.
+	Tracer trace.Tracer
 }
+
+// spawnGrain is the minimum partition size worth handing to a worker
+// goroutine; smaller partitions recurse inline to keep scheduling overhead
+// below the cost of the work itself.
+const spawnGrain = 512
 
 // Name returns "Mondrian".
 func (m *Mondrian) Name() string { return "Mondrian" }
 
+// SetTracer implements TraceSink.
+func (m *Mondrian) SetTracer(tr trace.Tracer) { m.Tracer = tr }
+
 // Partition implements Partitioner. The context is checked before every
-// recursive split, so cancellation latency is one median cut.
+// recursive split, so cancellation latency is one median cut even with
+// workers fanned out across the tree.
 func (m *Mondrian) Partition(ctx context.Context, rel *relation.Relation, rows []int, k int) ([][]int, error) {
 	if err := checkPartitionable(ctx, rows, k); err != nil {
 		return nil, err
@@ -39,21 +68,58 @@ func (m *Mondrian) Partition(ctx context.Context, rel *relation.Relation, rows [
 	if m.Criterion != nil && !m.Criterion.Holds(rel, rows) {
 		return nil, fmt.Errorf("anon: the input itself violates %s; no partitioning can satisfy it", m.Criterion.Name())
 	}
+	// newDistancer warms the relation's numeric-parse cache for every
+	// numeric QI attribute (NumericRange parses the full dictionary on first
+	// touch), so worker goroutines only ever read it.
 	d := newDistancer(rel, rows)
 	part := make([]int, len(rows))
 	copy(part, rows)
-	var out [][]int
-	if err := m.split(ctx, rel, d, part, k, &out); err != nil {
-		return nil, err
+
+	workers := m.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return out, nil
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	// The calling goroutine is worker zero; the semaphore holds the extra
+	// capacity. A nil semaphore (Parallelism 1) never admits a spawn, which
+	// reduces splitPar to plain sequential recursion.
+	var sem chan struct{}
+	if workers > 1 {
+		sem = make(chan struct{}, workers-1)
+	}
+	var tr *lockedTracer
+	if m.Tracer != nil {
+		tr = &lockedTracer{tr: m.Tracer}
+	}
+	return m.splitPar(ctx, rel, d, part, k, 0, sem, tr)
 }
 
-func (m *Mondrian) split(ctx context.Context, rel *relation.Relation, d *distancer, part []int, k int, out *[][]int) error {
+// lockedTracer serializes concurrent split events onto a caller-supplied
+// tracer, which is only contractually goroutine-safe for KindProgress.
+type lockedTracer struct {
+	mu sync.Mutex
+	tr trace.Tracer
+}
+
+func (lt *lockedTracer) split(attr string, size, depth int, elapsed time.Duration) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.tr.Trace(trace.Event{Kind: trace.KindSplit, Label: attr, N: size, Depth: depth, Elapsed: elapsed})
+}
+
+// splitPar recursively partitions part, returning its clusters in
+// deterministic depth-first order (left half's clusters before the right
+// half's). When the semaphore has spare capacity and the left half is large
+// enough to amortize a goroutine, the left half is partitioned concurrently
+// with the right.
+func (m *Mondrian) splitPar(ctx context.Context, rel *relation.Relation, d *distancer, part []int, k, depth int, sem chan struct{}, tr *lockedTracer) ([][]int, error) {
 	if err := ctxErr(ctx); err != nil {
-		return err
+		return nil, err
 	}
 	if len(part) >= 2*k {
+		start := time.Now()
 		// Try attributes in descending width order until one admits an
 		// allowable cut.
 		for _, ai := range m.attrsByWidth(rel, d, part) {
@@ -64,14 +130,49 @@ func (m *Mondrian) split(ctx context.Context, rel *relation.Relation, d *distanc
 			if m.Criterion != nil && (!m.Criterion.Holds(rel, left) || !m.Criterion.Holds(rel, right)) {
 				continue
 			}
-			if err := m.split(ctx, rel, d, left, k, out); err != nil {
-				return err
+			if tr != nil {
+				tr.split(rel.Schema().Attr(d.qi[ai]).Name, len(part), depth, time.Since(start))
 			}
-			return m.split(ctx, rel, d, right, k, out)
+			if sem != nil && len(left) >= spawnGrain {
+				select {
+				case sem <- struct{}{}:
+					var (
+						lParts [][]int
+						lErr   error
+						done   = make(chan struct{})
+					)
+					go func() {
+						defer close(done)
+						defer func() { <-sem }()
+						lParts, lErr = m.splitPar(ctx, rel, d, left, k, depth+1, sem, tr)
+					}()
+					rParts, rErr := m.splitPar(ctx, rel, d, right, k, depth+1, sem, tr)
+					<-done
+					if lErr != nil {
+						return nil, lErr
+					}
+					if rErr != nil {
+						return nil, rErr
+					}
+					return append(lParts, rParts...), nil
+				default:
+				}
+			}
+			lParts, err := m.splitPar(ctx, rel, d, left, k, depth+1, sem, tr)
+			if err != nil {
+				return nil, err
+			}
+			rParts, err := m.splitPar(ctx, rel, d, right, k, depth+1, sem, tr)
+			if err != nil {
+				return nil, err
+			}
+			return append(lParts, rParts...), nil
 		}
 	}
-	*out = append(*out, part)
-	return nil
+	if tr != nil {
+		tr.split("", len(part), depth, 0)
+	}
+	return [][]int{part}, nil
 }
 
 // attrsByWidth orders the QI attribute positions (indexes into d.qi) by

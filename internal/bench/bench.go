@@ -46,6 +46,11 @@ type Config struct {
 	NumConstraints int
 	// SampleCap bounds k-member's greedy scans on large relations.
 	SampleCap int
+	// Baseline selects the rest-row partitioner for DIVA runs: "" uses the
+	// engine default (parallel Mondrian); "k-member" restores the sampled
+	// greedy clustering that was the default before the partitioner API
+	// (SampleCap candidates per greedy step).
+	Baseline string
 	// MaxSteps caps the coloring search per run (0 = package default).
 	MaxSteps int
 	// Progress, when non-nil, receives one line per measured point.
@@ -204,6 +209,7 @@ func Experiments() []Experiment {
 		{ID: "fig5b", Title: "Runtime vs k (Credit)", Run: Fig5b},
 		{ID: "fig5c", Title: "Accuracy vs |R| (Census)", Run: Fig5c},
 		{ID: "fig5d", Title: "Runtime vs |R| (Census)", Run: Fig5d},
+		{ID: "baseline", Title: "Baseline partitioner comparison", Run: BaselineBench},
 		{ID: "ablation-cap", Title: "DIVA vs candidate budget", Run: AblationCandidateCap},
 		{ID: "ablation-sample", Title: "k-member vs sample cap", Run: AblationSampleCap},
 		{ID: "ablation-parallel", Title: "Sequential vs portfolio coloring", Run: AblationParallel},
@@ -236,15 +242,20 @@ func strategyColumns() []string {
 // accuracy.
 func runDIVA(rel *relation.Relation, sigma constraint.Set, k int, strat search.Strategy, cfg Config, seed uint64) (acc, secs float64) {
 	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef12345))
+	o := core.Options{
+		K:        k,
+		Strategy: strat,
+		Rng:      rng,
+		Cluster:  cluster.Options{},
+		MaxSteps: cfg.MaxSteps,
+	}
+	// Nil Anonymizer takes the engine default (parallel Mondrian); the
+	// Config.Baseline escape hatch restores the pre-API sampled k-member.
+	if cfg.Baseline == "k-member" {
+		o.Anonymizer = &anon.KMember{Rng: rng, SampleCap: cfg.SampleCap}
+	}
 	start := time.Now()
-	res, err := core.Anonymize(context.Background(), rel, sigma, core.Options{
-		K:          k,
-		Strategy:   strat,
-		Rng:        rng,
-		Cluster:    cluster.Options{},
-		MaxSteps:   cfg.MaxSteps,
-		Anonymizer: &anon.KMember{Rng: rng, SampleCap: cfg.SampleCap},
-	})
+	res, err := core.Anonymize(context.Background(), rel, sigma, o)
 	secs = time.Since(start).Seconds()
 	if err != nil {
 		cfg.logf("    %s failed: %v", strat, err)

@@ -72,8 +72,17 @@ type Options struct {
 	// default.
 	MaxSteps int
 	// Anonymizer handles the tuples outside the diverse clustering. Nil
-	// means k-member with a 512-record sample cap, the paper's choice.
+	// means parallel Mondrian (anon.Mondrian with Parallelism workers);
+	// the paper's k-member choice remains available as an explicit
+	// anon.KMember. Anonymizers implementing anon.TraceSink receive the
+	// run's tracer before the baseline phase, so their split events land in
+	// the same stream as the coloring search.
 	Anonymizer anon.Partitioner
+	// Parallelism bounds the worker goroutines of the default baseline
+	// partitioner: 0 means GOMAXPROCS, 1 forces sequential partitioning.
+	// It has no effect on an explicitly supplied Anonymizer (configure that
+	// partitioner directly) or on the coloring search (see Parallel).
+	Parallelism int
 	// Criterion, when non-nil, is an additional privacy requirement on
 	// every QI-group of the output (e.g. privacy.DistinctLDiversity) — the
 	// paper's "extensible to l-diversity, t-closeness" hook. It is
@@ -224,7 +233,10 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		return finish(nil, fmt.Errorf("diva: cannot %d-anonymize %d tuples: %w", opts.K, rel.Len(), ErrNoDiverseClustering))
 	}
 	if opts.Anonymizer == nil {
-		opts.Anonymizer = &anon.KMember{Rng: opts.Rng, SampleCap: 512, Criterion: opts.Criterion}
+		opts.Anonymizer = &anon.Mondrian{Criterion: opts.Criterion, Parallelism: opts.Parallelism}
+	}
+	if ts, ok := opts.Anonymizer.(anon.TraceSink); ok {
+		ts.SetTracer(tr)
 	}
 
 	// Bind: validate Σ, resolve its targets against R, and split off the
@@ -440,6 +452,8 @@ func RunBaseline(ctx context.Context, rel *relation.Relation, p anon.Partitioner
 	}
 	if tr == nil {
 		tr = trace.Nop
+	} else if ts, ok := p.(anon.TraceSink); ok {
+		ts.SetTracer(tr)
 	}
 	phase := func(ph trace.Phase, f func(context.Context) error) error {
 		tr.Trace(trace.Event{Kind: trace.KindPhaseStart, Phase: ph})

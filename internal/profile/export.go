@@ -204,6 +204,27 @@ func (p *Profile) WriteSummary(w io.Writer) error {
 	if p.WinnerStrategy != "" {
 		fmt.Fprintf(bw, "portfolio winner: worker %d (%s)\n", p.WinnerWorker, p.WinnerStrategy)
 	}
+	if bs := p.Baseline; bs != nil {
+		fmt.Fprintf(bw, "baseline: splits=%d leaves=%d cut-wall=%s max-depth=%d",
+			bs.Splits, bs.Leaves, bs.CutWall.Round(time.Microsecond), bs.MaxDepth)
+		if len(bs.ByAttr) > 0 {
+			attrs := make([]string, 0, len(bs.ByAttr))
+			for a := range bs.ByAttr {
+				attrs = append(attrs, a)
+			}
+			sort.Slice(attrs, func(i, j int) bool {
+				if bs.ByAttr[attrs[i]] != bs.ByAttr[attrs[j]] {
+					return bs.ByAttr[attrs[i]] > bs.ByAttr[attrs[j]]
+				}
+				return attrs[i] < attrs[j]
+			})
+			fmt.Fprintf(bw, " cuts-by-attr:")
+			for _, a := range attrs {
+				fmt.Fprintf(bw, " %s=%d", a, bs.ByAttr[a])
+			}
+		}
+		fmt.Fprintln(bw)
+	}
 	if len(p.Nodes) > 0 {
 		fmt.Fprintln(bw, "hottest constraints:")
 		order := make([]int, len(p.Nodes))

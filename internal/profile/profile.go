@@ -167,6 +167,18 @@ type Exhaustion struct {
 	Blocker         int `json:"blocker"`
 }
 
+// BaselineStats aggregates the baseline partitioner's trace.KindSplit
+// events: recursive cuts made, leaf partitions emitted, wall time spent
+// finding cuts, the deepest recursion reached, and the per-attribute cut
+// counts (which attributes carried the partitioning).
+type BaselineStats struct {
+	Splits   int            `json:"splits"`
+	Leaves   int            `json:"leaves"`
+	CutWall  time.Duration  `json:"cut_wall_ns"`
+	MaxDepth int            `json:"max_depth"`
+	ByAttr   map[string]int `json:"by_attr,omitempty"`
+}
+
 // Totals are the search's authoritative cumulative counters, taken from the
 // final KindProgress heartbeat.
 type Totals struct {
@@ -209,6 +221,11 @@ type Profile struct {
 	SpanCount int  `json:"span_count"`
 	Truncated bool `json:"truncated,omitempty"`
 	Flat      bool `json:"flat,omitempty"`
+	// Baseline aggregates the baseline partitioner's split events, so
+	// profiles attribute baseline-phase time to recursive cuts the same way
+	// they attribute coloring time to constraints. Nil when the partitioner
+	// emitted no split events (k-member, OKA, or custom partitioners).
+	Baseline *BaselineStats `json:"baseline,omitempty"`
 	// LastExhaustion is the final exhaustion before the search gave up.
 	LastExhaustion *Exhaustion `json:"last_exhaustion,omitempty"`
 	// WinnerWorker and WinnerStrategy identify the portfolio winner
@@ -423,6 +440,25 @@ func (p *Profiler) Trace(ev trace.Event) {
 	case trace.KindWorkerWin:
 		p.prof.WinnerWorker = ev.N
 		p.prof.WinnerStrategy = ev.Strategy
+	case trace.KindSplit:
+		bs := p.prof.Baseline
+		if bs == nil {
+			bs = &BaselineStats{}
+			p.prof.Baseline = bs
+		}
+		if ev.Label == "" {
+			bs.Leaves++
+		} else {
+			bs.Splits++
+			bs.CutWall += ev.Elapsed
+			if bs.ByAttr == nil {
+				bs.ByAttr = make(map[string]int)
+			}
+			bs.ByAttr[ev.Label]++
+		}
+		if ev.Depth > bs.MaxDepth {
+			bs.MaxDepth = ev.Depth
+		}
 	}
 }
 

@@ -100,6 +100,15 @@ const (
 	// phase: nodes Event.Node and Event.N share target tuples with Jaccard
 	// overlap Event.Conflict (constraint.PairConflict).
 	KindEdge
+	// KindSplit describes one recursive cut made by a partitioner during the
+	// baseline phase: Event.N is the partition size before the cut,
+	// Event.Depth the recursion depth, Event.Label the attribute the
+	// partition was cut on ("" for a leaf that could not be cut further), and
+	// Event.Elapsed the wall time spent finding the cut. Parallel partitioners
+	// emit KindSplit from worker goroutines concurrently; like KindProgress,
+	// tracers must handle it in a goroutine-safe way (the engine serializes
+	// events before forwarding them to a caller-supplied Tracer).
+	KindSplit
 )
 
 // String names the event kind.
@@ -127,6 +136,8 @@ func (k EventKind) String() string {
 		return "node"
 	case KindEdge:
 		return "edge"
+	case KindSplit:
+		return "split"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -168,8 +179,8 @@ type Event struct {
 	// Together they let a consumer (internal/profile) reconstruct the
 	// hierarchical search tree from the flat event stream.
 	Span, Parent uint64
-	// Label is the constraint rendered in the paper's notation, set for
-	// KindNode.
+	// Label is the constraint rendered in the paper's notation for KindNode,
+	// or the cut attribute's name for KindSplit ("" for a leaf partition).
 	Label string
 	// Conflict is the target-set Jaccard overlap of an edge's endpoints, set
 	// for KindEdge (Event.Node and Event.N are the endpoints).
@@ -263,6 +274,12 @@ type RunMetrics struct {
 	// each constraint ran out of candidates and forced the search to retreat
 	// (empty in portfolio mode, like the per-node counters above).
 	NodeExhaustions map[int]int `json:"node_exhaustions,omitempty"`
+	// BaselineSplits and BaselineLeaves describe the baseline partitioner's
+	// recursive work: cuts made (KindSplit events carrying an attribute
+	// label) and leaf partitions emitted (KindSplit events with an empty
+	// label). Both are zero for partitioners that do not emit split events.
+	BaselineSplits int `json:"baseline_splits,omitempty"`
+	BaselineLeaves int `json:"baseline_leaves,omitempty"`
 	// PortfolioWorkers is the number of concurrent searches (0 = sequential).
 	PortfolioWorkers int `json:"portfolio_workers,omitempty"`
 	// WinnerWorker and WinnerStrategy identify the portfolio winner;
@@ -380,6 +397,12 @@ func (r *Recorder) Trace(ev Event) {
 	case KindWorkerWin:
 		r.m.WinnerWorker = ev.N
 		r.m.WinnerStrategy = ev.Strategy
+	case KindSplit:
+		if ev.Label != "" {
+			r.m.BaselineSplits++
+		} else {
+			r.m.BaselineLeaves++
+		}
 	}
 }
 
@@ -471,6 +494,15 @@ func (t *WriterTracer) Trace(ev Event) {
 			return
 		}
 		b = fmt.Appendf(b, "trace %10s  edge %d-%d conflict=%.3f\n", at.Round(time.Microsecond), ev.Node, ev.N, ev.Conflict)
+	case KindSplit:
+		if !t.Verbose {
+			return
+		}
+		if ev.Label == "" {
+			b = fmt.Appendf(b, "trace %10s  split leaf size=%d depth=%d\n", at.Round(time.Microsecond), ev.N, ev.Depth)
+		} else {
+			b = fmt.Appendf(b, "trace %10s  split on %s size=%d depth=%d took=%v\n", at.Round(time.Microsecond), ev.Label, ev.N, ev.Depth, ev.Elapsed.Round(time.Microsecond))
+		}
 	default:
 		if !t.Verbose {
 			return
