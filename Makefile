@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke obs-smoke profile-smoke verify fuzz-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke profile-smoke verify fuzz-smoke ci
 
 # Minimum statement coverage for the verification subsystem itself — the
 # checker that everything else leans on must stay tested.
@@ -88,6 +88,32 @@ baseline-smoke:
 		echo "baseline-smoke: parallel output differs from sequential"; exit 1; }; \
 	[ -s $$tmp/seq.csv ] || { echo "baseline-smoke: empty output"; exit 1; }; \
 	echo "baseline-smoke: ok (sequential and parallel outputs identical, -verify clean)"
+
+# shard-smoke runs the shard-and-merge engine end to end at the CLI level:
+# a census sample with a Σ that decomposes into three components
+# (testdata/census-shard.sigma), solved monolithically and with -shards 4,
+# all under -verify. The two sharded runs must be byte-identical (the shard
+# plan's determinism contract); the monolithic run shares the -verify
+# verdict but may publish a different — equally valid — relation.
+shard-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$(GO) build -o $$tmp/datagen ./cmd/datagen; \
+	$$tmp/datagen -profile census -rows 15000 -seed 7 >$$tmp/census.csv; \
+	$$tmp/diva -in $$tmp/census.csv -constraints testdata/census-shard.sigma \
+		-k 10 -seed 7 -verify >$$tmp/mono.csv \
+		|| { echo "shard-smoke: monolithic run failed"; exit 1; }; \
+	$$tmp/diva -in $$tmp/census.csv -constraints testdata/census-shard.sigma \
+		-k 10 -seed 7 -shards 4 -verify >$$tmp/shard1.csv \
+		|| { echo "shard-smoke: sharded run failed"; exit 1; }; \
+	$$tmp/diva -in $$tmp/census.csv -constraints testdata/census-shard.sigma \
+		-k 10 -seed 7 -shards 4 -verify >$$tmp/shard2.csv \
+		|| { echo "shard-smoke: sharded rerun failed"; exit 1; }; \
+	cmp -s $$tmp/shard1.csv $$tmp/shard2.csv || { \
+		echo "shard-smoke: sharded output not deterministic"; exit 1; }; \
+	[ -s $$tmp/shard1.csv ] || { echo "shard-smoke: empty output"; exit 1; }; \
+	echo "shard-smoke: ok (sharded runs byte-identical, monolithic and sharded -verify clean)"
 
 # obs-smoke exercises the ops layer end to end: it runs cmd/diva with
 # -listen on an ephemeral port against the paper's example (testdata/), keeps
@@ -184,4 +210,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
 
-ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke
+ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke shard-smoke

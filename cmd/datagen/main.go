@@ -11,6 +11,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -47,9 +49,28 @@ func main() {
 	if n == 0 {
 		n = p.DefaultRows
 	}
-	rel := gen.Generate(n, *seed)
-	if err := relation.WriteAnnotatedCSV(os.Stdout, rel); err != nil {
+	// Stream rows straight to stdout instead of materializing the relation:
+	// -rows can exceed what fits in memory, and the byte output is identical
+	// to the old WriteAnnotatedCSV path.
+	bw := bufio.NewWriter(os.Stdout)
+	cw := csv.NewWriter(bw)
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
+	}
+	if err := cw.Write(relation.AnnotatedHeader(gen.Schema())); err != nil {
+		fail(err)
+	}
+	if err := gen.EachRow(n, *seed, func(_ int, values []string) error {
+		return cw.Write(values)
+	}); err != nil {
+		fail(err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fail(err)
 	}
 }

@@ -76,6 +76,7 @@ func main() {
 		stats       = flag.Bool("stats", false, "print metrics to stderr")
 		ldiv        = flag.Int("ldiversity", 0, "additionally require distinct l-diversity with this l (0 = off)")
 		parallel    = flag.Int("parallel", 0, "run this many concurrent coloring searches (0 = sequential)")
+		shards      = flag.Int("shards", 0, "shard-and-merge engine: decompose constraints into components and partition rest rows in this many QI-local shards (0 = off, -1 = auto)")
 		reportFmt   = flag.String("report", "", "write a run report to stderr: text, markdown or json")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		traceFlag   = flag.Bool("trace", false, "stream phase boundaries and portfolio outcomes to stderr")
@@ -162,6 +163,7 @@ func main() {
 		Baseline:    bl,
 		LDiversity:  *ldiv,
 		Parallel:    *parallel,
+		Shards:      *shards,
 		Parallelism: *parallelism,
 		Hierarchies: hs,
 	}

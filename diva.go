@@ -137,6 +137,11 @@ const (
 	MaxFanOut = search.MaxFanOut
 )
 
+// ShardsAuto, set on Options.Shards, sizes the shard-and-merge engine
+// automatically from GOMAXPROCS and the relation size; small relations run
+// monolithically.
+const ShardsAuto = core.ShardsAuto
+
 // ErrNoDiverseClustering is returned when no k-anonymous relation satisfying
 // the constraints exists (or none was found within the search budget).
 var ErrNoDiverseClustering = core.ErrNoDiverseClustering
@@ -189,6 +194,12 @@ const (
 	// recursion depth and cut wall time. The engine serializes these before
 	// they reach a Tracer, even when Mondrian runs parallel.
 	KindSplit = trace.KindSplit
+	// KindShard announces one unit of a sharded run's plan: a Σ connected
+	// component (Label "component": Node is the component index, N its
+	// QI-pool size, Depth its constraint count) or a QI-local rest shard
+	// (Label "rest": Node is the shard index, N its row count). Emitted
+	// sequentially by the coordinator; see Options.Shards.
+	KindShard = trace.KindShard
 )
 
 // Run phases, in execution order.
@@ -384,6 +395,16 @@ type Options struct {
 	// Parallel, when > 0, runs that many concurrent coloring searches (a
 	// strategy portfolio) and takes the first result.
 	Parallel int
+	// Shards enables the shard-and-merge engine for large relations: the
+	// constraint set is decomposed into independent connected components
+	// colored concurrently, and the remaining tuples are partitioned in
+	// QI-local shards. 0 disables sharding, ShardsAuto (-1) picks a count
+	// from GOMAXPROCS and the relation size, and any value ≥ 2 is honored
+	// as given. Output is deterministic for a fixed shard count and seed
+	// (different counts may produce different — equally valid — outputs);
+	// Parallelism bounds the fan-out. Runs that shard infeasibly fall back
+	// to the monolithic engine transparently. Sharded runs ignore Parallel.
+	Shards int
 	// Hierarchies, when non-nil, renders clusters by generalization: cells
 	// a cluster disagrees on lift to the least common ancestor of its
 	// values ("[30-39]") instead of ★. Attributes without a hierarchy fall
@@ -461,6 +482,7 @@ func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opt
 		Parallelism: opts.Parallelism,
 		Criterion:   crit,
 		Parallel:    opts.Parallel,
+		Shards:      opts.Shards,
 		Hierarchies: opts.Hierarchies,
 		Tracer:      opts.Tracer,
 	})

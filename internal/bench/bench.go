@@ -210,6 +210,7 @@ func Experiments() []Experiment {
 		{ID: "fig5c", Title: "Accuracy vs |R| (Census)", Run: Fig5c},
 		{ID: "fig5d", Title: "Runtime vs |R| (Census)", Run: Fig5d},
 		{ID: "baseline", Title: "Baseline partitioner comparison", Run: BaselineBench},
+		{ID: "shard", Title: "Shard-and-merge engine vs monolithic", Run: ShardBench},
 		{ID: "ablation-cap", Title: "DIVA vs candidate budget", Run: AblationCandidateCap},
 		{ID: "ablation-sample", Title: "k-member vs sample cap", Run: AblationSampleCap},
 		{ID: "ablation-parallel", Title: "Sequential vs portfolio coloring", Run: AblationParallel},

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"diva/internal/constraint"
+	"diva/internal/core"
+	"diva/internal/dataset"
+	"diva/internal/relation"
+	"diva/internal/verify"
+)
+
+// shardCounts are the sweep points of the shard study; 1 is the monolithic
+// engine (Options.Shards below 2 disables sharding).
+var shardCounts = []int{1, 2, 4, 8}
+
+// ShardBench measures the shard-and-merge engine against the monolithic
+// driver on the census profile at the harness scale: one relation, one
+// proportional Σ, identical seeds, swept over shard counts. Reported per
+// point: wall time and total allocation volume (the out-of-core win —
+// QI-sorted shard planning allocates far less than Mondrian's top recursion
+// levels, and component-wise coloring touches only per-component pools).
+// Every output is gated through the invariant checker minus the strict
+// containment matching, which is Θ(|R|²) and infeasible at census scale;
+// the remaining checks (k-anonymity, every constraint's bounds, suppression
+// accounting) run in full.
+func ShardBench(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	rows := cfg.scaled(dataset.CensusRows)
+	rel := censusRelation(cfg, rows)
+	sigma, err := proportionalSigma(rel, cfg.NumConstraints, cfg.K, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("shard: generating Σ: %w", err)
+	}
+	table := &Table{
+		ID:      "shard",
+		Title:   fmt.Sprintf("Shard-and-merge engine (Census, |R|=%d)", rows),
+		XLabel:  "shards",
+		YLabel:  "runtime (seconds), alloc (MB)",
+		Columns: []string{"runtime (s)", "alloc (MB)"},
+	}
+	for _, shards := range shardCounts {
+		secs, allocMB, err := timedSharded(rel, sigma, cfg, shards)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shards=%d: %w", shards, err)
+		}
+		cfg.logf("  shard shards=%d: %.3fs %.1f MB allocated", shards, secs, allocMB)
+		table.Rows = append(table.Rows, Row{X: fmt.Sprint(shards), Values: []float64{secs, allocMB}})
+	}
+	mono := table.Rows[0].Values
+	best := mono
+	bestX := table.Rows[0].X
+	for _, r := range table.Rows[1:] {
+		if r.Values[0] < best[0] {
+			best, bestX = r.Values, r.X
+		}
+	}
+	if bestX != table.Rows[0].X && best[0] > 0 {
+		table.Notes = append(table.Notes, fmt.Sprintf(
+			"best sharded point (shards=%s) runs %.2fx the monolithic wall time and allocates %.2fx its volume",
+			bestX, best[0]/mono[0], best[1]/mono[1]))
+	}
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d — shard fan-out is concurrency-bound; on a single-CPU host the wall-time win is limited to the cheaper QI-sorted shard planning, while the allocation-volume delta is hardware-independent", runtime.GOMAXPROCS(0)),
+		"outputs validated without the Θ(|R|²) containment matching (k-anonymity, constraint bounds and star accounting checked in full)")
+	return table, nil
+}
+
+// timedSharded runs one sharded (or, at shards=1, monolithic) DIVA run and
+// returns its wall time and allocation volume in MB, erroring unless the
+// invariant checker (minus containment) finds zero violations.
+func timedSharded(rel *relation.Relation, sigma constraint.Set, cfg Config, shards int) (secs, allocMB float64, err error) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xabcdef12345))
+	o := core.Options{
+		K:        cfg.K,
+		Rng:      rng,
+		MaxSteps: cfg.MaxSteps,
+		Shards:   shards,
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := core.Anonymize(context.Background(), rel, sigma, o)
+	secs = time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	allocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / 1e6
+	if err != nil {
+		return secs, allocMB, err
+	}
+	rep := verify.ValidateOutput(rel, res.Output, sigma, cfg.K, verify.Options{
+		SkipContainment: true,
+		CheckStars:      true,
+		Stars:           res.Metrics.SuppressedCells,
+	})
+	if !rep.OK() {
+		return secs, allocMB, fmt.Errorf("output failed validation: %w", rep.Err())
+	}
+	return secs, allocMB, nil
+}

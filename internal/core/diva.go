@@ -95,6 +95,20 @@ type Options struct {
 	// search selected by Strategy — the paper's future-work direction of
 	// parallelizing the coloring.
 	Parallel int
+	// Shards selects the shard-and-merge engine: Σ is decomposed into
+	// pool-disjoint connected components (constraint.Components) colored
+	// concurrently, and the rest rows are partitioned in QI-local shards.
+	// 0 disables sharding (the monolithic driver), ShardsAuto (-1) sizes the
+	// shard count from GOMAXPROCS and the relation, and any value ≥ 2 is
+	// honored as given (values below 2 behave like 0). The shard fan-out is
+	// bounded by Parallelism. Results are deterministic for a fixed shard
+	// count, seed and strategy; when the component-wise coloring leaves a
+	// rest set smaller than K the engine transparently falls back to the
+	// monolithic driver (whose Accept hook forbids that outcome during the
+	// search). Sharded runs ignore Parallel: the portfolio races whole
+	// searches, whereas sharding splits one search into independent
+	// components.
+	Shards int
 	// Hierarchies, when non-nil, renders clusters by generalization
 	// instead of suppression: a QI attribute a cluster disagrees on lifts
 	// to the least common ancestor of its values (★ only when no finer
@@ -277,6 +291,29 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		return finish(nil, err)
 	}
 
+	env := &runEnv{
+		rel:        rel,
+		opts:       &opts,
+		tr:         tr,
+		stats:      &stats,
+		phase:      phase,
+		schema:     schema,
+		bounds:     bounds,
+		searchable: searchable,
+	}
+
+	// Shard-and-merge: decompose Σ into pool-disjoint components, color them
+	// concurrently, and partition the rest rows shard-wise. Soundness of the
+	// decomposition (and of merging the per-part results) is argued in
+	// DESIGN.md §11. The sentinel errShardFallback drops us back into the
+	// monolithic driver below; any other outcome is final.
+	if shards := shardCount(opts.Shards, rel.Len()); shards > 1 {
+		res, err := runSharded(ctx, env, shards)
+		if err == nil || !errors.Is(err, errShardFallback) {
+			return finish(res, err)
+		}
+	}
+
 	// DiverseClustering (Algorithm 3): build the constraint graph and color
 	// it.
 	var graph *search.Graph
@@ -328,19 +365,7 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 
 	// Suppress (Algorithm 2) on SΣ gives RΣ (generalized rendering when
 	// hierarchies are supplied).
-	var diverse *relation.Relation
-	var rest []int
-	err = phase(trace.PhaseSuppress, func(context.Context) error {
-		diverse = SuppressGeneralize(rel, sigmaClustering, opts.Hierarchies)
-		used := sigmaClustering.RowSet(n)
-		rest = make([]int, 0, n-used.Len())
-		for i := 0; i < n; i++ {
-			if !used.Contains(i) {
-				rest = append(rest, i)
-			}
-		}
-		return nil
-	})
+	diverse, rest, err := env.suppressPhase(sigmaClustering)
 	if err != nil {
 		return finish(nil, err)
 	}
@@ -359,38 +384,76 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		return finish(nil, err)
 	}
 
-	// Integrate: repair upper bounds that Rk pushed over.
+	return finish(env.integrateVerify(diverse, restRel, sigmaClustering))
+}
+
+// runEnv bundles the per-run state the monolithic and sharded drivers share:
+// the bound constraints, the timed-phase runner, the run's tracer and the
+// search-stats accumulator that finish() stamps into RunMetrics.
+type runEnv struct {
+	rel        *relation.Relation
+	opts       *Options
+	tr         trace.Tracer
+	stats      *search.Stats
+	phase      func(trace.Phase, func(context.Context) error) error
+	schema     *relation.Schema
+	bounds     []*constraint.Bound
+	searchable []*constraint.Bound
+}
+
+// suppressPhase runs the suppress phase: render RΣ from the diverse
+// clustering and compute the complement row set Rk will anonymize.
+func (e *runEnv) suppressPhase(sigmaClustering cluster.Clustering) (*relation.Relation, []int, error) {
+	var diverse *relation.Relation
+	var rest []int
+	n := e.rel.Len()
+	err := e.phase(trace.PhaseSuppress, func(context.Context) error {
+		diverse = SuppressGeneralize(e.rel, sigmaClustering, e.opts.Hierarchies)
+		used := sigmaClustering.RowSet(n)
+		rest = make([]int, 0, n-used.Len())
+		for i := 0; i < n; i++ {
+			if !used.Contains(i) {
+				rest = append(rest, i)
+			}
+		}
+		return nil
+	})
+	return diverse, rest, err
+}
+
+// integrateVerify runs the integrate and verify phases over RΣ and Rk and
+// assembles the Result (finish() adds Stats and Metrics).
+func (e *runEnv) integrateVerify(diverse, restRel *relation.Relation, sigmaClustering cluster.Clustering) (*Result, error) {
 	var repaired int
-	err = phase(trace.PhaseIntegrate, func(context.Context) error {
+	err := e.phase(trace.PhaseIntegrate, func(context.Context) error {
 		var err error
-		repaired, err = integrate(diverse, restRel, bounds, schema)
+		repaired, err = integrate(diverse, restRel, e.bounds, e.schema)
 		return err
 	})
 	if err != nil {
-		return finish(nil, err)
+		return nil, err
 	}
-
 	var output *relation.Relation
-	err = phase(trace.PhaseVerify, func(context.Context) error {
+	err = e.phase(trace.PhaseVerify, func(context.Context) error {
 		output = diverse.Clone()
 		output.AppendRowsFrom(restRel, allRows(restRel))
-		if opts.Criterion != nil {
-			if ok, group := privacy.Satisfies(output, opts.Criterion); !ok {
-				return fmt.Errorf("diva: output QI-group of %d tuples violates %s: %w", len(group), opts.Criterion.Name(), ErrNoDiverseClustering)
+		if e.opts.Criterion != nil {
+			if ok, group := privacy.Satisfies(output, e.opts.Criterion); !ok {
+				return fmt.Errorf("diva: output QI-group of %d tuples violates %s: %w", len(group), e.opts.Criterion.Name(), ErrNoDiverseClustering)
 			}
 		}
 		return nil
 	})
 	if err != nil {
-		return finish(nil, err)
+		return nil, err
 	}
-	return finish(&Result{
+	return &Result{
 		Output:        output,
 		Diverse:       diverse,
 		Rest:          restRel,
 		Clustering:    sigmaClustering,
 		RepairedCells: repaired,
-	}, nil)
+	}, nil
 }
 
 // Suppress is Algorithm 2: for every cluster, every QI attribute on which

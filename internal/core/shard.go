@@ -1,0 +1,311 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"diva/internal/anon"
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+	"diva/internal/relation"
+	"diva/internal/search"
+	"diva/internal/trace"
+)
+
+// ShardsAuto selects the shard count automatically: GOMAXPROCS, clamped so
+// every shard covers at least minShardRows tuples (small relations run
+// monolithically — sharding them buys nothing).
+const ShardsAuto = -1
+
+// minShardRows is the smallest relation slice worth a shard of its own in
+// auto mode. An explicit Options.Shards ≥ 2 is honored regardless, so tests
+// can exercise the sharded path on micro-instances.
+const minShardRows = 4096
+
+// errShardFallback signals that the component-wise coloring succeeded but
+// left a rest set of fewer than K tuples — an outcome the monolithic search
+// forbids via its Accept hook but the per-component searches cannot see
+// (each knows only its own pool). Anonymize reruns the monolithic driver.
+var errShardFallback = errors.New("diva: sharded run requires monolithic fallback")
+
+// shardCount resolves Options.Shards against the relation size. It returns
+// 1 (monolithic) unless sharding is explicitly requested or auto mode finds
+// both spare parallelism and enough rows.
+func shardCount(want, n int) int {
+	switch {
+	case want == 0:
+		return 1
+	case want < 0:
+		w := runtime.GOMAXPROCS(0)
+		if m := n / minShardRows; m < w {
+			w = m
+		}
+		if w < 2 {
+			return 1
+		}
+		return w
+	case want < 2:
+		return 1
+	default:
+		return want
+	}
+}
+
+// shardWorkers bounds the shard fan-out from Options.Parallelism (0 means
+// GOMAXPROCS, same as the baseline partitioner's convention).
+func shardWorkers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSharded is the shard-and-merge driver. It mirrors the monolithic
+// phase sequence but decomposes the work:
+//
+//   - build-graph: Σ's searchable constraints split into pool-disjoint
+//     connected components (constraint.Components); each gets its own
+//     constraint graph, described to the tracer under global node ids.
+//   - color: the components are colored concurrently (bounded by
+//     Options.Parallelism), each with a deterministic per-component seed
+//     drawn up front in component order. Merging the clusterings is sound
+//     because pool-disjointness makes cross-component clusters row-disjoint
+//     and mutually occurrence-free (DESIGN.md §11).
+//   - suppress: unchanged (shared with the monolithic driver).
+//   - baseline: the rest rows are sorted into QI-local shards and
+//     partitioned shard-wise — concurrently for the default Mondrian.
+//   - integrate/verify: unchanged; Rk-only repair remains sufficient for
+//     cross-shard groups (DESIGN.md §11).
+//
+// Per-step search events are suppressed during the concurrent coloring
+// (their interleaving is nondeterministic) and replayed afterwards as
+// batched per-node counts in component order, so traces and profiles stay
+// deterministic for a fixed shard count and seed.
+func runSharded(ctx context.Context, e *runEnv, shards int) (*Result, error) {
+	opts := e.opts
+
+	var comps []constraint.Component
+	var graphs []*search.Graph
+	err := e.phase(trace.PhaseBuildGraph, func(context.Context) error {
+		comps = constraint.Components(e.rel, e.searchable)
+		copts := opts.Cluster
+		copts.K = opts.K
+		copts.Criterion = opts.Criterion
+		graphs = make([]*search.Graph, len(comps))
+		for ci, comp := range comps {
+			e.tr.Trace(trace.Event{
+				Kind:  trace.KindShard,
+				Label: "component",
+				Node:  ci,
+				N:     comp.Pool.Len(),
+				Depth: len(comp.Indices),
+			})
+			g := search.BuildGraph(e.rel, comp.Bounds, copts)
+			g.DescribeMapped(e.tr, comp.Indices)
+			graphs[ci] = g
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Color every component concurrently. Seeds are drawn from the run Rng
+	// up front in component order so the outcome does not depend on
+	// goroutine scheduling; per-component searches run with per-step events
+	// suppressed (heartbeats pass through a synchronized tracer) and their
+	// activity is replayed deterministically after the barrier. No Accept
+	// hook here: a component cannot see the global rest size, so the
+	// rest ≥ K invariant is checked after suppress (fallback below).
+	var sigmaClustering cluster.Clustering
+	err = e.phase(trace.PhaseColor, func(c context.Context) error {
+		seeds := make([]uint64, len(comps))
+		for i := range seeds {
+			seeds[i] = opts.Rng.Uint64()
+		}
+		clusterings := make([]cluster.Clustering, len(comps))
+		compStats := make([]search.Stats, len(comps))
+		found := make([]bool, len(comps))
+		wtr := trace.ProgressOnly(trace.Synchronized(e.tr))
+		sem := make(chan struct{}, shardWorkers(opts.Parallelism))
+		var wg sync.WaitGroup
+		for ci := range comps {
+			ci := ci
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sopts := search.Options{
+					Strategy: opts.Strategy,
+					Rng:      rand.New(rand.NewPCG(seeds[ci], seeds[ci]^0x6c62272e07bb0142)),
+					MaxSteps: opts.MaxSteps,
+					Ctx:      c,
+					Tracer:   wtr,
+				}
+				clusterings[ci], compStats[ci], found[ci] = graphs[ci].Color(sopts)
+			}()
+		}
+		wg.Wait()
+		for ci := range comps {
+			compStats[ci].ReplayInto(e.tr, comps[ci].Indices)
+			e.stats.Merge(compStats[ci])
+		}
+		e.tr.Trace(trace.Event{
+			Kind:        trace.KindProgress,
+			Steps:       e.stats.Steps,
+			Backtracks:  e.stats.Backtracks,
+			Candidates:  e.stats.CandidatesTried,
+			CacheHits:   e.stats.CacheHits,
+			CacheMisses: e.stats.CacheMisses,
+			Worker:      -1,
+		})
+		for ci := range comps {
+			if found[ci] {
+				continue
+			}
+			st := compStats[ci]
+			if st.Err != nil {
+				return fmt.Errorf("diva: component %d coloring interrupted after %d steps (%d backtracks): %w", ci, st.Steps, st.Backtracks, st.Err)
+			}
+			return fmt.Errorf("diva: component %d coloring failed after %d steps (%d backtracks): %w", ci, st.Steps, st.Backtracks, ErrNoDiverseClustering)
+		}
+		// Merge in component order. Clusters from different components are
+		// row-disjoint (their pools are), so concatenation is a valid
+		// clustering of the union.
+		for ci := range comps {
+			sigmaClustering = append(sigmaClustering, clusterings[ci]...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	diverse, rest, err := e.suppressPhase(sigmaClustering)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 && len(rest) < opts.K {
+		// The monolithic Accept hook would have steered the search away from
+		// this clustering; redo the run with the global view.
+		return nil, errShardFallback
+	}
+
+	var restRel *relation.Relation
+	err = e.phase(trace.PhaseBaseline, func(c context.Context) error {
+		restShards := planRestShards(e.rel, rest, shards, opts.K)
+		for si, rows := range restShards {
+			e.tr.Trace(trace.Event{Kind: trace.KindShard, Label: "rest", Node: si, N: len(rows)})
+		}
+		parts, err := partitionShards(c, e, restShards)
+		if err != nil {
+			return fmt.Errorf("diva: anonymizing %d remaining tuples: %w", len(rest), err)
+		}
+		restRel = SuppressGeneralize(e.rel, parts, opts.Hierarchies)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return e.integrateVerify(diverse, restRel, sigmaClustering)
+}
+
+// planRestShards splits the rest rows into at most want QI-local shards:
+// rows are ordered by their quasi-identifier code vectors so each shard
+// covers a contiguous band of QI-space (the same locality Mondrian's median
+// cuts exploit), then chunked into balanced contiguous slices of at least k
+// rows each. The plan is deterministic: equal inputs give equal shards.
+func planRestShards(rel *relation.Relation, rest []int, want, k int) [][]int {
+	if max := len(rest) / k; max < want {
+		want = max
+	}
+	if want < 1 {
+		want = 1
+	}
+	sorted := append([]int(nil), rest...)
+	qi := rel.Schema().QIIndexes()
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ri, rj := rel.Row(sorted[i]), rel.Row(sorted[j])
+		for _, a := range qi {
+			if ri[a] != rj[a] {
+				return ri[a] < rj[a]
+			}
+		}
+		return false
+	})
+	shards := make([][]int, 0, want)
+	base, extra := len(sorted)/want, len(sorted)%want
+	at := 0
+	for s := 0; s < want; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		shards = append(shards, sorted[at:at+size])
+		at += size
+	}
+	return shards
+}
+
+// partitionShards partitions each shard's rows independently and
+// concatenates the parts in shard order. The default Mondrian partitioner
+// fans out across shards (each shard gets a sequential clone, the shared
+// numeric cache is pre-warmed, and split events flow through a synchronized
+// tracer); any other partitioner may carry mutable state (e.g. KMember's
+// Rng), so its shards run sequentially in shard order for determinism.
+func partitionShards(ctx context.Context, e *runEnv, shards [][]int) ([][]int, error) {
+	if len(shards) == 1 {
+		return e.opts.Anonymizer.Partition(ctx, e.rel, shards[0], e.opts.K)
+	}
+	m, ok := e.opts.Anonymizer.(*anon.Mondrian)
+	if !ok {
+		var parts [][]int
+		for _, rows := range shards {
+			p, err := e.opts.Anonymizer.Partition(ctx, e.rel, rows, e.opts.K)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p...)
+		}
+		return parts, nil
+	}
+	// NumericValue grows a cache shared across every relation deriving from
+	// e.rel; warm it once so the concurrent partitioners only read.
+	e.rel.WarmNumericCache()
+	str := trace.Synchronized(e.tr)
+	shardParts := make([][][]int, len(shards))
+	errs := make([]error, len(shards))
+	sem := make(chan struct{}, shardWorkers(e.opts.Parallelism))
+	var wg sync.WaitGroup
+	for si := range shards {
+		si := si
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			clone := &anon.Mondrian{Criterion: m.Criterion, Parallelism: 1}
+			clone.SetTracer(str)
+			shardParts[si], errs[si] = clone.Partition(ctx, e.rel, shards[si], e.opts.K)
+		}()
+	}
+	wg.Wait()
+	var parts [][]int
+	for si := range shards {
+		if errs[si] != nil {
+			return nil, errs[si]
+		}
+		parts = append(parts, shardParts[si]...)
+	}
+	return parts, nil
+}

@@ -36,16 +36,32 @@ func (g *Generator) Schema() *relation.Schema {
 // Generate produces a relation of n tuples using the given seed. Equal
 // seeds produce equal relations.
 func (g *Generator) Generate(n int, seed uint64) *relation.Relation {
-	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	rel := relation.New(g.Schema())
+	g.EachRow(n, seed, func(_ int, values []string) error {
+		rel.MustAppendValues(values...)
+		return nil
+	})
+	return rel
+}
+
+// EachRow streams the same n tuples Generate(n, seed) would materialize,
+// invoking fn with each tuple's index and values in schema order. The slice
+// is reused between calls; copy it to retain. An error from fn stops the
+// generation and is returned verbatim. This is the out-of-core form of
+// Generate: cmd/datagen uses it to emit arbitrarily large CSVs in constant
+// memory.
+func (g *Generator) EachRow(n int, seed uint64, fn func(i int, values []string) error) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	row := make([]string, len(g.Columns))
 	for i := 0; i < n; i++ {
 		for c, col := range g.Columns {
 			row[c] = col.Gen(rng, row[:c])
 		}
-		rel.MustAppendValues(row...)
+		if err := fn(i, row); err != nil {
+			return err
+		}
 	}
-	return rel
+	return nil
 }
 
 // CategoricalColumn draws values from a fixed domain under a distribution.

@@ -35,6 +35,12 @@ var (
 		"Fraction of QI cells preserved per published relation.", LinearBuckets(0.1, 0.1, 10))
 	mHeartbeats = Metrics.NewCounter("diva_search_heartbeats_total",
 		"KindProgress heartbeats received by the run registry.")
+	mShardedRuns = Metrics.NewCounter("diva_sharded_runs_total",
+		"Runs that executed the shard-and-merge engine.")
+	mSigmaComponents = Metrics.NewHistogram("diva_sigma_components",
+		"Σ connected components per sharded run.", ExpBuckets(1, 2, 12))
+	mRestShards = Metrics.NewHistogram("diva_rest_shards",
+		"QI-local rest shards per sharded run.", ExpBuckets(1, 2, 12))
 )
 
 func init() {
@@ -66,5 +72,14 @@ func collect(m *trace.RunMetrics, err error) {
 	if err == nil && m.Accuracy >= 0 {
 		mSuppressed.Observe(float64(m.SuppressedCells))
 		mAccuracy.Observe(m.Accuracy)
+	}
+	if m.SigmaComponents > 0 || m.RestShards > 0 {
+		mShardedRuns.Inc()
+		if m.SigmaComponents > 0 {
+			mSigmaComponents.Observe(float64(m.SigmaComponents))
+		}
+		if m.RestShards > 0 {
+			mRestShards.Observe(float64(m.RestShards))
+		}
 	}
 }

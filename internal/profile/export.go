@@ -204,6 +204,10 @@ func (p *Profile) WriteSummary(w io.Writer) error {
 	if p.WinnerStrategy != "" {
 		fmt.Fprintf(bw, "portfolio winner: worker %d (%s)\n", p.WinnerWorker, p.WinnerStrategy)
 	}
+	if ss := p.Shards; ss != nil {
+		fmt.Fprintf(bw, "sharded: components=%d component-rows=%d rest-shards=%d rest-rows=%d\n",
+			ss.Components, ss.ComponentRows, ss.RestShards, ss.RestRows)
+	}
 	if bs := p.Baseline; bs != nil {
 		fmt.Fprintf(bw, "baseline: splits=%d leaves=%d cut-wall=%s max-depth=%d",
 			bs.Splits, bs.Leaves, bs.CutWall.Round(time.Microsecond), bs.MaxDepth)

@@ -179,6 +179,17 @@ type BaselineStats struct {
 	ByAttr   map[string]int `json:"by_attr,omitempty"`
 }
 
+// ShardStats aggregates a sharded run's trace.KindShard plan events: how
+// many Σ connected components the coloring was decomposed into (and the
+// total QI-pool rows they cover), and how many QI-local shards the rest rows
+// were partitioned in (and the rows they cover). Nil on monolithic runs.
+type ShardStats struct {
+	Components    int `json:"components"`
+	ComponentRows int `json:"component_rows"`
+	RestShards    int `json:"rest_shards"`
+	RestRows      int `json:"rest_rows"`
+}
+
 // Totals are the search's authoritative cumulative counters, taken from the
 // final KindProgress heartbeat.
 type Totals struct {
@@ -226,6 +237,9 @@ type Profile struct {
 	// they attribute coloring time to constraints. Nil when the partitioner
 	// emitted no split events (k-member, OKA, or custom partitioners).
 	Baseline *BaselineStats `json:"baseline,omitempty"`
+	// Shards aggregates a sharded run's plan events (component and rest-
+	// shard announcements). Nil on monolithic runs.
+	Shards *ShardStats `json:"shards,omitempty"`
 	// LastExhaustion is the final exhaustion before the search gave up.
 	LastExhaustion *Exhaustion `json:"last_exhaustion,omitempty"`
 	// WinnerWorker and WinnerStrategy identify the portfolio winner
@@ -458,6 +472,19 @@ func (p *Profiler) Trace(ev trace.Event) {
 		}
 		if ev.Depth > bs.MaxDepth {
 			bs.MaxDepth = ev.Depth
+		}
+	case trace.KindShard:
+		ss := p.prof.Shards
+		if ss == nil {
+			ss = &ShardStats{}
+			p.prof.Shards = ss
+		}
+		if ev.Label == "component" {
+			ss.Components++
+			ss.ComponentRows += ev.N
+		} else {
+			ss.RestShards++
+			ss.RestRows += ev.N
 		}
 	}
 }

@@ -9,49 +9,15 @@ import (
 
 // ReadCSV loads a relation from CSV data whose header row matches the given
 // schema's attribute names (order-insensitive: columns are matched by name,
-// extra columns are ignored, missing columns are an error).
+// extra columns are ignored, missing columns are an error). It is the
+// materializing form of NewCSVStream; use the stream (or LoadCSVStream) for
+// relations too large to hold in memory.
 func ReadCSV(r io.Reader, schema *Schema) (*Relation, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
-	header, err := cr.Read()
+	s, err := NewCSVStream(r, schema)
 	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+		return nil, err
 	}
-	colFor := make([]int, schema.Len())
-	for i := range colFor {
-		colFor[i] = -1
-	}
-	for col, name := range header {
-		if i, ok := schema.Index(strings.TrimSpace(name)); ok {
-			colFor[i] = col
-		}
-	}
-	for i, col := range colFor {
-		if col < 0 {
-			return nil, fmt.Errorf("relation: CSV is missing attribute %q", schema.Attr(i).Name)
-		}
-	}
-	rel := New(schema)
-	values := make([]string, schema.Len())
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
-		}
-		for i, col := range colFor {
-			if col >= len(rec) {
-				return nil, fmt.Errorf("relation: CSV line %d has %d fields, need column %d", line, len(rec), col+1)
-			}
-			values[i] = rec[col]
-		}
-		if _, err := rel.AppendValues(values...); err != nil {
-			return nil, err
-		}
-	}
-	return rel, nil
+	return s.ReadAll()
 }
 
 // ParseHeaderSchema builds a schema from an annotated CSV header of the form
@@ -93,31 +59,14 @@ func ParseHeaderSchema(header []string) (*Schema, error) {
 }
 
 // ReadAnnotatedCSV loads a relation from CSV data whose header carries
-// role/kind annotations as understood by ParseHeaderSchema.
+// role/kind annotations as understood by ParseHeaderSchema. It is the
+// materializing form of NewAnnotatedCSVStream.
 func ReadAnnotatedCSV(r io.Reader) (*Relation, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
-	}
-	schema, err := ParseHeaderSchema(header)
+	s, err := NewAnnotatedCSVStream(r)
 	if err != nil {
 		return nil, err
 	}
-	rel := New(schema)
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
-		}
-		if _, err := rel.AppendValues(rec...); err != nil {
-			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
-		}
-	}
-	return rel, nil
+	return s.ReadAll()
 }
 
 // WriteCSV writes the relation as CSV with a plain header of attribute
@@ -142,11 +91,10 @@ func WriteCSV(w io.Writer, rel *Relation) error {
 	return cw.Error()
 }
 
-// WriteAnnotatedCSV writes the relation as CSV with an annotated header that
-// ReadAnnotatedCSV can round-trip.
-func WriteAnnotatedCSV(w io.Writer, rel *Relation) error {
-	cw := csv.NewWriter(w)
-	schema := rel.Schema()
+// AnnotatedHeader renders schema as the "name:role:kind" header row that
+// ReadAnnotatedCSV (and NewAnnotatedCSVStream) round-trips; WriteAnnotatedCSV
+// and streaming writers like cmd/datagen share it.
+func AnnotatedHeader(schema *Schema) []string {
 	header := make([]string, schema.Len())
 	for i := range header {
 		a := schema.Attr(i)
@@ -163,6 +111,14 @@ func WriteAnnotatedCSV(w io.Writer, rel *Relation) error {
 		}
 		header[i] = fmt.Sprintf("%s:%s:%s", a.Name, role, kind)
 	}
+	return header
+}
+
+// WriteAnnotatedCSV writes the relation as CSV with an annotated header that
+// ReadAnnotatedCSV can round-trip.
+func WriteAnnotatedCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	header := AnnotatedHeader(rel.Schema())
 	if err := cw.Write(header); err != nil {
 		return err
 	}

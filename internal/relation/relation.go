@@ -200,6 +200,22 @@ func (r *Relation) NumericValue(attr int, code uint32) (float64, bool) {
 	return nc.vals[attr][code], true
 }
 
+// WarmNumericCache pre-parses every dictionary code of every numeric
+// attribute into the shared numeric cache. NumericValue grows that cache
+// lazily, which is a data race when relations sharing dictionaries are read
+// from several goroutines; warming once before fan-out makes subsequent
+// NumericValue calls read-only.
+func (r *Relation) WarmNumericCache() {
+	for a := 0; a < r.schema.Len(); a++ {
+		if r.schema.Attr(a).Kind != Numeric {
+			continue
+		}
+		if d := r.dicts[a]; d.Len() > 0 {
+			r.NumericValue(a, uint32(d.Len()-1))
+		}
+	}
+}
+
 // NumericRange returns the min and max numeric values present in attribute
 // attr over the given rows (all rows if rows is nil), ignoring suppressed
 // and non-numeric cells. ok is false when no numeric value is present.

@@ -46,7 +46,7 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 	// be handled goroutine-safely in portfolio mode).
 	opts.Tracer = nil
 	if tr != nil {
-		opts.Tracer = progressOnly{tr}
+		opts.Tracer = trace.ProgressOnly(tr)
 	}
 	type outcome struct {
 		sigma  cluster.Clustering
@@ -95,16 +95,7 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 		// Replay the winner's per-node search activity (suppressed while the
 		// portfolio raced) as batched events, then pin the exact totals with
 		// a final heartbeat before announcing the winner.
-		for node, n := range best.stats.nodeAssigns {
-			if n > 0 {
-				tr.Trace(trace.Event{Kind: trace.KindAssign, Node: node, N: n})
-			}
-		}
-		for node, n := range best.stats.nodeBacktracks {
-			if n > 0 {
-				tr.Trace(trace.Event{Kind: trace.KindBacktrack, Node: node, N: n})
-			}
-		}
+		best.stats.ReplayInto(tr, nil)
 		tr.Trace(trace.Event{
 			Kind:        trace.KindProgress,
 			Steps:       best.stats.Steps,
@@ -117,15 +108,4 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 		tr.Trace(trace.Event{Kind: trace.KindWorkerWin, N: best.worker, Strategy: best.strat.String()})
 	}
 	return best.sigma, best.stats, true
-}
-
-// progressOnly forwards KindProgress heartbeats to the wrapped tracer and
-// drops every other event; ColorPortfolio wraps its workers' tracers with it
-// so per-step events stay suppressed while liveness heartbeats flow.
-type progressOnly struct{ dst trace.Tracer }
-
-func (p progressOnly) Trace(ev trace.Event) {
-	if ev.Kind == trace.KindProgress {
-		p.dst.Trace(ev)
-	}
 }

@@ -119,12 +119,25 @@ func BuildGraph(rel *relation.Relation, bounds []*constraint.Bound, opts cluster
 // search profiler use these to label search-tree spans with constraints and
 // to weight conflict-edge heat in infeasibility explanations; the engine
 // calls it once during the build-graph phase.
-func (g *Graph) Describe(tr trace.Tracer) {
+func (g *Graph) Describe(tr trace.Tracer) { g.DescribeMapped(tr, nil) }
+
+// DescribeMapped is Describe for a graph built over a subset of a larger
+// constraint set: index maps this graph's node indexes to positions in the
+// original set, so a per-component graph's events carry globally meaningful
+// node ids (profilers and explainers key constraints by them). A nil index
+// is the identity.
+func (g *Graph) DescribeMapped(tr trace.Tracer, index []int) {
 	if tr == nil || tr == trace.Nop {
 		return
 	}
+	id := func(i int) int {
+		if index != nil {
+			return index[i]
+		}
+		return i
+	}
 	for _, n := range g.Nodes {
-		tr.Trace(trace.Event{Kind: trace.KindNode, Node: n.Index, Label: n.Bound.String(), N: len(n.Neighbors)})
+		tr.Trace(trace.Event{Kind: trace.KindNode, Node: id(n.Index), Label: n.Bound.String(), N: len(n.Neighbors)})
 	}
 	for _, n := range g.Nodes {
 		for _, j := range n.Neighbors {
@@ -133,8 +146,8 @@ func (g *Graph) Describe(tr trace.Tracer) {
 			}
 			tr.Trace(trace.Event{
 				Kind:     trace.KindEdge,
-				Node:     n.Index,
-				N:        j,
+				Node:     id(n.Index),
+				N:        id(j),
 				Conflict: constraint.PairConflict(g.rel, n.Bound, g.Nodes[j].Bound),
 			})
 		}
@@ -167,6 +180,47 @@ type Stats struct {
 	// per-step events are suppressed while the portfolio races).
 	nodeAssigns    []int
 	nodeBacktracks []int
+}
+
+// Merge folds another search's scalar counters into s. The sharded engine
+// sums per-component searches into one run-level Stats; the first non-nil
+// Err wins (per-node slices are not merged — replay them with ReplayInto,
+// which carries the node remapping the sum would lose).
+func (s *Stats) Merge(o Stats) {
+	s.Steps += o.Steps
+	s.Backtracks += o.Backtracks
+	s.CandidatesTried += o.CandidatesTried
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	if s.Err == nil {
+		s.Err = o.Err
+	}
+}
+
+// ReplayInto emits the per-node assign/backtrack counts of a completed
+// search into tr as batched KindAssign/KindBacktrack events (Event.N carries
+// the count; Span stays 0 — batched replays carry no tree structure). index,
+// when non-nil, maps this search's node indexes to positions in a larger
+// constraint set, exactly as in DescribeMapped; ColorPortfolio replays its
+// winner with a nil index, the sharded engine replays each component with
+// the component's index list.
+func (s Stats) ReplayInto(tr trace.Tracer, index []int) {
+	if tr == nil || tr == trace.Nop {
+		return
+	}
+	emit := func(kind trace.EventKind, counts []int) {
+		for node, n := range counts {
+			if n == 0 {
+				continue
+			}
+			if index != nil {
+				node = index[node]
+			}
+			tr.Trace(trace.Event{Kind: kind, Node: node, N: n})
+		}
+	}
+	emit(trace.KindAssign, s.nodeAssigns)
+	emit(trace.KindBacktrack, s.nodeBacktracks)
 }
 
 // Options configures the coloring search.

@@ -109,6 +109,16 @@ const (
 	// tracers must handle it in a goroutine-safe way (the engine serializes
 	// events before forwarding them to a caller-supplied Tracer).
 	KindSplit
+	// KindShard describes one unit of the sharded engine's plan. With
+	// Event.Label "component" it names one connected component of the
+	// constraint graph, emitted during the build-graph phase: Event.Node is
+	// the component index, Event.N its QI-pool row count and Event.Depth its
+	// constraint count. With Event.Label "rest" it names one QI-local shard
+	// of the rest rows, emitted during the baseline phase: Event.Node is the
+	// shard index and Event.N its row count. Both variants are emitted by the
+	// coordinating goroutine before any parallel work starts, so tracers see
+	// them sequentially.
+	KindShard
 )
 
 // String names the event kind.
@@ -138,6 +148,8 @@ func (k EventKind) String() string {
 		return "edge"
 	case KindSplit:
 		return "split"
+	case KindShard:
+		return "shard"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -280,6 +292,12 @@ type RunMetrics struct {
 	// label). Both are zero for partitioners that do not emit split events.
 	BaselineSplits int `json:"baseline_splits,omitempty"`
 	BaselineLeaves int `json:"baseline_leaves,omitempty"`
+	// SigmaComponents and RestShards describe the sharded engine's plan:
+	// independent constraint-graph components solved separately, and QI-local
+	// shards the rest rows were partitioned in. Both are zero on monolithic
+	// runs (Options.Shards off), where no KindShard events are emitted.
+	SigmaComponents int `json:"sigma_components,omitempty"`
+	RestShards      int `json:"rest_shards,omitempty"`
 	// PortfolioWorkers is the number of concurrent searches (0 = sequential).
 	PortfolioWorkers int `json:"portfolio_workers,omitempty"`
 	// WinnerWorker and WinnerStrategy identify the portfolio winner;
@@ -403,6 +421,12 @@ func (r *Recorder) Trace(ev Event) {
 		} else {
 			r.m.BaselineLeaves++
 		}
+	case KindShard:
+		if ev.Label == "component" {
+			r.m.SigmaComponents++
+		} else {
+			r.m.RestShards++
+		}
 	}
 }
 
@@ -503,6 +527,14 @@ func (t *WriterTracer) Trace(ev Event) {
 		} else {
 			b = fmt.Appendf(b, "trace %10s  split on %s size=%d depth=%d took=%v\n", at.Round(time.Microsecond), ev.Label, ev.N, ev.Depth, ev.Elapsed.Round(time.Microsecond))
 		}
+	case KindShard:
+		// Shard-plan events are low-volume (one per component/shard) and name
+		// the run's structure; print them like phase boundaries, always.
+		if ev.Label == "component" {
+			b = fmt.Appendf(b, "trace %10s  shard component %d: %d constraints over %d pool rows\n", at.Round(time.Microsecond), ev.Node, ev.Depth, ev.N)
+		} else {
+			b = fmt.Appendf(b, "trace %10s  shard rest %d: %d rows\n", at.Round(time.Microsecond), ev.Node, ev.N)
+		}
 	default:
 		if !t.Verbose {
 			return
@@ -511,6 +543,50 @@ func (t *WriterTracer) Trace(ev Event) {
 	}
 	t.buf = b
 	t.w.Write(b)
+}
+
+// ProgressOnly returns a Tracer forwarding only KindProgress heartbeats to
+// tr and discarding every other event. The portfolio coloring and the
+// sharded engine wrap worker tracers with it: per-step events from
+// concurrently racing searches would interleave nondeterministically (and
+// carry clashing span IDs), but liveness heartbeats must keep flowing. A nil
+// or Nop tr returns Nop.
+func ProgressOnly(tr Tracer) Tracer {
+	if tr == nil || tr == Nop {
+		return Nop
+	}
+	return progressOnlyTracer{dst: tr}
+}
+
+type progressOnlyTracer struct{ dst Tracer }
+
+func (p progressOnlyTracer) Trace(ev Event) {
+	if ev.Kind == KindProgress {
+		p.dst.Trace(ev)
+	}
+}
+
+// Synchronized wraps tr behind a mutex so goroutines may share it: the
+// sharded engine fans the baseline partitioner out across shards, and each
+// shard's partitioner emits KindSplit events assuming it owns the tracer.
+// The returned Tracer serializes every Trace call. A nil or Nop tr returns
+// Nop (no lock needed to discard).
+func Synchronized(tr Tracer) Tracer {
+	if tr == nil || tr == Nop {
+		return Nop
+	}
+	return &syncTracer{dst: tr}
+}
+
+type syncTracer struct {
+	mu  sync.Mutex
+	dst Tracer
+}
+
+func (s *syncTracer) Trace(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dst.Trace(ev)
 }
 
 // FormatPhaseSeconds renders a phase→seconds map deterministically (phase
