@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke profile-smoke verify fuzz-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke profile-smoke history-smoke verify fuzz-smoke ci
 
 # Minimum statement coverage for the verification subsystem itself — the
 # checker that everything else leans on must stay tested.
@@ -188,6 +188,51 @@ profile-smoke:
 		cat $$tmp/explain.log; exit 1; }; \
 	echo "profile-smoke: ok (trace artifact valid, explainer named a culprit)"
 
+# history-smoke exercises the run-history ledger and the perf-regression
+# gate end to end: two ledgered cmd/diva runs on the paper's example (the
+# second through the chunked streaming loader, which must produce the same
+# dataset fingerprint), `divahist diff` confirming the pair compares as
+# noise, `divahist gate` passing on the honest ledger, and — after awk
+# inflates the last record's coloring phase to 9s, far past the noise
+# floor — the gate exiting non-zero.
+history-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$(GO) build -o $$tmp/divahist ./cmd/divahist; \
+	$$tmp/diva -in testdata/patients.csv -constraints testdata/patients.sigma \
+		-k 2 -seed 42 -verify -history-dir $$tmp/hist >$$tmp/a.csv || { \
+		echo "history-smoke: first ledgered run failed"; exit 1; }; \
+	$$tmp/diva -in testdata/patients.csv -constraints testdata/patients.sigma \
+		-k 2 -seed 42 -verify -chunk 4 -history-dir $$tmp/hist >$$tmp/b.csv || { \
+		echo "history-smoke: second (chunked) ledgered run failed"; exit 1; }; \
+	[ "$$(wc -l < $$tmp/hist/ledger.jsonl)" = 2 ] || { \
+		echo "history-smoke: expected 2 ledger records, got:"; \
+		cat $$tmp/hist/ledger.jsonl; exit 1; }; \
+	$$tmp/divahist -dir $$tmp/hist diff prev latest >$$tmp/diff.txt 2>$$tmp/diff.err || { \
+		echo "history-smoke: divahist diff failed"; cat $$tmp/diff.err; exit 1; }; \
+	grep -q 'confirmed regressions: 0' $$tmp/diff.txt || { \
+		echo "history-smoke: identical runs compared as a regression:"; \
+		cat $$tmp/diff.txt; exit 1; }; \
+	grep -q 'different experiment keys' $$tmp/diff.err && { \
+		echo "history-smoke: chunked loading changed the dataset fingerprint"; \
+		cat $$tmp/diff.err; exit 1; } || true; \
+	$$tmp/divahist -dir $$tmp/hist gate >$$tmp/gate.txt || { \
+		echo "history-smoke: gate failed on an honest ledger:"; \
+		cat $$tmp/gate.txt; exit 1; }; \
+	mkdir $$tmp/hist-bad; \
+	awk -v n="$$(wc -l < $$tmp/hist/ledger.jsonl)" \
+		'NR==n{gsub(/"phase":"color","duration_ns":[0-9]+/, \
+			"\"phase\":\"color\",\"duration_ns\":9000000000")}1' \
+		$$tmp/hist/ledger.jsonl >$$tmp/hist-bad/ledger.jsonl; \
+	if $$tmp/divahist -dir $$tmp/hist-bad gate >$$tmp/gate-bad.txt; then \
+		echo "history-smoke: gate missed a 9s coloring regression:"; \
+		cat $$tmp/gate-bad.txt; exit 1; fi; \
+	grep -q 'regression' $$tmp/gate-bad.txt || { \
+		echo "history-smoke: failing gate did not name the regression:"; \
+		cat $$tmp/gate-bad.txt; exit 1; }; \
+	echo "history-smoke: ok (2 ledgered runs, diff noise-clean, gate trips on inflated color phase)"
+
 # verify runs the differential-verification subsystem as its own gate: the
 # invariant checker and brute-force oracle unit tests, the differential and
 # metamorphic harnesses (several hundred micro-instances against the oracle),
@@ -210,4 +255,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
 
-ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke shard-smoke
+ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke shard-smoke history-smoke

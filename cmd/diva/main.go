@@ -7,6 +7,14 @@
 //	     [-seed 1] [-baseline mondrian] [-parallelism 4] [-verify] [-stats]
 //	     [-timeout 30s] [-trace] [-metrics] [-profile out.json] [-explain]
 //	     [-listen 127.0.0.1:9090] [-hold 30s] [-log-format text|json]
+//	     [-chunk 65536] [-history-dir .diva-history]
+//
+// -chunk loads the input through the streaming chunk reader (bounded
+// per-chunk decode buffers, one shared dictionary set) instead of a single
+// pass. -history-dir appends one self-describing record per run — config and
+// dataset fingerprints, outcome, per-phase wall times — to the durable run
+// ledger read back by `divahist` and /debug/diva/history; the
+// DIVA_HISTORY_DIR environment variable is the flagless equivalent.
 //
 // -timeout bounds the run's wall time (the search stops promptly and the
 // command exits nonzero), -trace streams phase boundaries and the portfolio
@@ -50,6 +58,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
@@ -58,6 +67,7 @@ import (
 	"diva"
 	"diva/internal/metrics"
 	"diva/internal/obs"
+	"diva/internal/relation"
 	"diva/internal/report"
 	"diva/internal/search"
 	"diva/internal/trace"
@@ -66,7 +76,9 @@ import (
 func main() {
 	var (
 		in          = flag.String("in", "", "input CSV with annotated header (required)")
+		chunk       = flag.Int("chunk", 0, "load the input through the streaming reader in chunks of this many rows (0 = load in one pass)")
 		constraints = flag.String("constraints", "", "diversity constraints file (one per line)")
+		historyDir  = flag.String("history-dir", "", "append one record per run to the durable run-history ledger in this directory (empty = $DIVA_HISTORY_DIR, or off)")
 		k           = flag.Int("k", 3, "privacy parameter: minimum QI-group size")
 		strategy    = flag.String("strategy", "MaxFanOut", "node-selection strategy: Basic, MinChoice or MaxFanOut")
 		seed        = flag.Uint64("seed", 1, "random seed for reproducible runs")
@@ -124,7 +136,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rel, err := diva.ReadAnnotatedCSV(f)
+	var rel *diva.Relation
+	if *chunk > 0 {
+		rel, err = loadChunked(f, *chunk)
+	} else {
+		rel, err = diva.ReadAnnotatedCSV(f)
+	}
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -166,6 +183,7 @@ func main() {
 		Shards:      *shards,
 		Parallelism: *parallelism,
 		Hierarchies: hs,
+		HistoryDir:  *historyDir,
 	}
 	var tracers []diva.Tracer
 	if *traceFlag {
@@ -309,6 +327,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "diva:", err)
 	os.Exit(1)
+}
+
+// loadChunked loads the relation through the streaming chunk reader: rows
+// materialize maxRows at a time into chunks that share one dictionary set,
+// and fold into the base relation as they arrive. For a plain CLI run the
+// end state matches ReadAnnotatedCSV; the difference is that the CSV text is
+// decoded with bounded per-chunk buffers, the shape out-of-core pipelines
+// consume chunks in.
+func loadChunked(r io.Reader, maxRows int) (*diva.Relation, error) {
+	s, err := relation.NewAnnotatedCSVStream(r)
+	if err != nil {
+		return nil, err
+	}
+	base := s.Relation()
+	for {
+		chunk, err := s.ReadChunk(maxRows)
+		if err == io.EOF {
+			return base, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, chunk.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		base.AppendRowsFrom(chunk, idx)
+	}
 }
 
 // writeProfile writes a search profile as Chrome trace-event JSON.

@@ -17,7 +17,10 @@
 // -bench-out writes a BENCH_*.json snapshot — the reproduction command, the
 // harness configuration, and every table with its phase seconds and engine
 // counter deltas — the format the repo's BENCH_* trajectory files use for
-// cross-PR performance comparisons.
+// cross-PR performance comparisons. When a run-history ledger is configured
+// (-history-dir, default $DIVA_HISTORY_DIR), the same tables also append to
+// it as one record per experiment, putting the bench trajectory on the
+// ledger `divahist diff`/`gate` compare.
 package main
 
 import (
@@ -28,8 +31,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"diva/internal/bench"
+	"diva/internal/history"
 	"diva/internal/trace"
 )
 
@@ -45,6 +50,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with every table and its phase breakdown")
 		outDir   = flag.String("out", "", "additionally write one <id>.csv per experiment into this directory")
 		benchOut = flag.String("bench-out", "", "write a BENCH_*.json snapshot (every table with its phase seconds and engine counter deltas) to this file")
+		histDir  = flag.String("history-dir", os.Getenv(history.EnvDir), "with -bench-out, additionally append one record per table to the run-history ledger in this directory (default $DIVA_HISTORY_DIR)")
 		quiet    = flag.Bool("quiet", false, "suppress per-point progress on stderr")
 	)
 	flag.Parse()
@@ -129,6 +135,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "divabench: %v\n", err)
 			exit = 1
 		}
+		if *histDir != "" {
+			if err := appendHistory(*histDir, cfg, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "divabench: %v\n", err)
+				exit = 1
+			}
+		}
 	}
 	os.Exit(exit)
 }
@@ -163,6 +175,50 @@ func writeBenchSnapshot(path string, cfg bench.Config, ids []string, tables []*b
 		return err
 	}
 	return f.Close()
+}
+
+// appendHistory appends one synthetic record per benchmarked table to the
+// run-history ledger: the experiment ID as the Bench fingerprint, the
+// aggregate phase_seconds breakdown as the metrics. This puts the bench
+// trajectory on the same ledger the per-run engine deposits use, so
+// `divahist` compares snapshot-to-snapshot trends with the same noise floor
+// as run-to-run ones. The engine's own per-run deposits during the bench are
+// independent (they only happen when the engine sees a history dir, which
+// the harness does not set per run).
+func appendHistory(dir string, cfg bench.Config, tables []*bench.Table) error {
+	l, err := history.Shared(dir)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		if len(tbl.PhaseSeconds) == 0 {
+			continue
+		}
+		m := &trace.RunMetrics{Accuracy: -1}
+		for _, ph := range trace.Phases() {
+			sec, ok := tbl.PhaseSeconds[string(ph)]
+			if !ok {
+				continue
+			}
+			d := time.Duration(sec * float64(time.Second))
+			m.Phases = append(m.Phases, trace.PhaseTiming{Phase: ph, Duration: d})
+			m.Total += d
+		}
+		rec := &history.Record{
+			Outcome: "ok",
+			Config: history.Config{
+				Bench:       tbl.ID,
+				K:           cfg.K,
+				Constraints: cfg.NumConstraints,
+				Baseline:    cfg.Baseline,
+			},
+			Metrics: m,
+		}
+		if err := l.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeCSVFile(dir string, t *bench.Table) error {

@@ -2,9 +2,14 @@
 // `diva -profile` writes and Perfetto/chrome://tracing load): the document
 // must parse, carry a non-empty traceEvents array, and every event must have
 // a name, a phase, a non-negative timestamp, and — for complete ("X")
-// events — a non-negative duration. Exit status 0 means the file is loadable;
-// 1 names the first violation. It exists so CI can assert profile exports
-// without a browser.
+// events — a non-negative duration. The aggregate instant events the profile
+// exporter derives from trace.KindShard and trace.KindSplit streams (cat
+// "shard" and "split") must additionally carry their well-formed argument
+// sets: a shard plan needs non-negative components/component_rows/
+// rest_shards/rest_rows, baseline cuts need non-negative splits/leaves/
+// cut_wall_us/max_depth with leaves > 0 whenever cuts were made. Exit status
+// 0 means the file is loadable; 1 names the first violation. It exists so CI
+// can assert profile exports without a browser.
 //
 // Usage:
 //
@@ -22,12 +27,14 @@ type traceDoc struct {
 }
 
 type traceEvent struct {
-	Name string   `json:"name"`
-	Ph   string   `json:"ph"`
-	Ts   *float64 `json:"ts"`
-	Dur  *float64 `json:"dur"`
-	Pid  *int     `json:"pid"`
-	Tid  *int     `json:"tid"`
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	Ts   *float64                   `json:"ts"`
+	Dur  *float64                   `json:"dur"`
+	Pid  *int                       `json:"pid"`
+	Tid  *int                       `json:"tid"`
+	Cat  string                     `json:"cat"`
+	Args map[string]json.RawMessage `json:"args"`
 }
 
 func main() {
@@ -42,6 +49,14 @@ func main() {
 	fmt.Println("tracecheck: ok")
 }
 
+// shardArgs and splitArgs are the argument sets the profile exporter stamps
+// on its KindShard/KindSplit aggregate events; every key must be present and
+// non-negative for the event to be considered well-formed.
+var (
+	shardArgs = []string{"components", "component_rows", "rest_shards", "rest_rows"}
+	splitArgs = []string{"splits", "leaves", "cut_wall_us", "max_depth"}
+)
+
 func check(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -55,6 +70,7 @@ func check(path string) error {
 		return fmt.Errorf("%s: traceEvents is empty", path)
 	}
 	counts := map[string]int{}
+	cats := map[string]int{}
 	for i, ev := range doc.TraceEvents {
 		if ev.Name == "" {
 			return fmt.Errorf("%s: event %d has no name", path, i)
@@ -71,7 +87,23 @@ func check(path string) error {
 		if ev.Ph == "X" && (ev.Dur == nil || *ev.Dur < 0) {
 			return fmt.Errorf("%s: complete event %d (%q) has a missing or negative dur", path, i, ev.Name)
 		}
+		switch ev.Cat {
+		case "shard":
+			if err := checkArgs(ev, shardArgs); err != nil {
+				return fmt.Errorf("%s: shard event %d: %w", path, i, err)
+			}
+		case "split":
+			if err := checkArgs(ev, splitArgs); err != nil {
+				return fmt.Errorf("%s: split event %d: %w", path, i, err)
+			}
+			if err := checkLeaves(ev); err != nil {
+				return fmt.Errorf("%s: split event %d: %w", path, i, err)
+			}
+		}
 		counts[ev.Ph]++
+		if ev.Cat != "" {
+			cats[ev.Cat]++
+		}
 	}
 	fmt.Printf("tracecheck: %s: %d events (", path, len(doc.TraceEvents))
 	first := true
@@ -85,6 +117,46 @@ func check(path string) error {
 		first = false
 		fmt.Printf("%d %s", counts[ph], ph)
 	}
-	fmt.Println(")")
+	fmt.Print(")")
+	for _, cat := range []string{"shard", "split"} {
+		if cats[cat] > 0 {
+			fmt.Printf(", %d %s", cats[cat], cat)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// checkArgs asserts every named argument is present and a non-negative
+// number.
+func checkArgs(ev traceEvent, keys []string) error {
+	if ev.Args == nil {
+		return fmt.Errorf("(%q) has no args", ev.Name)
+	}
+	for _, key := range keys {
+		raw, ok := ev.Args[key]
+		if !ok {
+			return fmt.Errorf("(%q) missing arg %q", ev.Name, key)
+		}
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return fmt.Errorf("(%q) arg %q is not a number: %s", ev.Name, key, raw)
+		}
+		if v < 0 {
+			return fmt.Errorf("(%q) arg %q is negative: %g", ev.Name, key, v)
+		}
+	}
+	return nil
+}
+
+// checkLeaves enforces the split invariant: any event reporting cuts must
+// also report the leaf partitions those cuts produced.
+func checkLeaves(ev traceEvent) error {
+	var splits, leaves float64
+	json.Unmarshal(ev.Args["splits"], &splits)
+	json.Unmarshal(ev.Args["leaves"], &leaves)
+	if splits > 0 && leaves == 0 {
+		return fmt.Errorf("(%q) reports %g splits but zero leaves", ev.Name, splits)
+	}
 	return nil
 }

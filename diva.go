@@ -72,6 +72,7 @@ import (
 	"diva/internal/constraint"
 	"diva/internal/core"
 	"diva/internal/hierarchy"
+	"diva/internal/history"
 	"diva/internal/metrics"
 	"diva/internal/privacy"
 	"diva/internal/profile"
@@ -235,6 +236,44 @@ type (
 
 // NewProfiler returns an empty search Profiler.
 func NewProfiler() *Profiler { return profile.New() }
+
+// Run history, re-exported from the history layer. With Options.HistoryDir
+// (or DIVA_HISTORY_DIR) set, every run appends one HistoryRecord — config
+// and dataset fingerprints, outcome, full RunMetrics — to a durable,
+// size-rotated JSONL ledger that LoadHistory reads back and CompareHistory
+// judges with a noise-aware regression verdict. The `divahist` CLI and the
+// obs server's /debug/diva/history endpoints are thin layers over these.
+type (
+	// HistoryRecord is one ledgered run.
+	HistoryRecord = history.Record
+	// HistoryConfig is the engine/config fingerprint part of a record.
+	HistoryConfig = history.Config
+	// HistoryDataset is the input-relation fingerprint part of a record.
+	HistoryDataset = history.Dataset
+	// HistoryReport is the outcome of CompareHistory: per-phase deltas with
+	// noise-floor verdicts.
+	HistoryReport = history.Report
+	// HistoryThresholds tunes the regression noise floor.
+	HistoryThresholds = history.Thresholds
+)
+
+// LoadHistory reads the run ledger rooted at dir back into records (append
+// order), tolerating a torn tail. A missing directory loads as empty.
+func LoadHistory(dir string) ([]*HistoryRecord, error) {
+	loaded, err := history.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loaded.Records, nil
+}
+
+// CompareHistory judges new runs against old ones phase by phase; deltas
+// within the noise floor (median-absolute-deviation based, see
+// HistoryThresholds) are verdicted as noise rather than regressions. A zero
+// Thresholds applies the defaults (15% relative, 3×MAD, 5ms absolute).
+func CompareHistory(old, new []*HistoryRecord, t HistoryThresholds) *HistoryReport {
+	return history.Compare(old, new, t)
+}
 
 // RunOutcome classifies an Anonymize error for Profiler.Finish and
 // dashboards: "ok", "canceled", "infeasible" or "error".
@@ -416,6 +455,12 @@ type Options struct {
 	// per-node search steps and portfolio outcomes. Run metrics are
 	// collected on Result.Metrics whether or not a Tracer is set.
 	Tracer Tracer
+	// HistoryDir, when non-empty, appends one HistoryRecord per run (every
+	// outcome) to the durable run ledger rooted in that directory — the
+	// persistence spine behind `divahist` and /debug/diva/history. Empty
+	// falls back to the DIVA_HISTORY_DIR environment variable; when both are
+	// empty the ledger is off. Ledger failures never fail the run.
+	HistoryDir string
 }
 
 func (o Options) rng() *rand.Rand {
@@ -485,6 +530,7 @@ func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opt
 		Shards:      opts.Shards,
 		Hierarchies: opts.Hierarchies,
 		Tracer:      opts.Tracer,
+		HistoryDir:  opts.HistoryDir,
 	})
 }
 

@@ -122,6 +122,12 @@ type Options struct {
 	// portfolio outcomes. The engine always aggregates the same events into
 	// Result.Metrics regardless.
 	Tracer trace.Tracer
+	// HistoryDir, when non-empty, appends one history.Record per run (every
+	// outcome, not just success) to the run ledger rooted there. Empty falls
+	// back to the DIVA_HISTORY_DIR environment variable; when that is also
+	// empty the ledger is off. Deposits are best-effort: a ledger failure
+	// never fails the run.
+	HistoryDir string
 }
 
 // Result carries the output of a DIVA run along with its intermediate
@@ -221,6 +227,7 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 			prof.Finish(RunOutcome(err), errText)
 			obs.Profiles.Add(prof.Profile())
 		}
+		depositHistory(rel, sigma, opts, m, err)
 		return res, err
 	}
 	// phase runs one stage under its trace events and pprof label. It

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"log/slog"
+	"os"
+
+	"diva/internal/constraint"
+	"diva/internal/history"
+	"diva/internal/relation"
+	"diva/internal/trace"
+)
+
+// historyConfig builds the run's engine/config fingerprint from the
+// (defaults-resolved) options — every knob that changes what work the engine
+// does, so records with equal hashes are re-runs of the same experiment.
+func historyConfig(sigma constraint.Set, opts Options) history.Config {
+	c := history.Config{
+		K:           opts.K,
+		Strategy:    opts.Strategy.String(),
+		Shards:      opts.Shards,
+		Parallelism: opts.Parallelism,
+		Parallel:    opts.Parallel,
+		MaxSteps:    opts.MaxSteps,
+		Constraints: len(sigma),
+		SigmaHash:   history.FingerprintConstraints(sigma),
+	}
+	if opts.Criterion != nil {
+		c.Criterion = opts.Criterion.Name()
+	}
+	if opts.Anonymizer != nil {
+		c.Baseline = opts.Anonymizer.Name()
+	}
+	return c
+}
+
+// depositHistory appends the finished run to the history ledger when one is
+// configured (Options.HistoryDir, falling back to DIVA_HISTORY_DIR). It is
+// called on every outcome and never fails the run: ledger errors are logged
+// and counted on the Ledger, nothing more.
+func depositHistory(rel *relation.Relation, sigma constraint.Set, opts Options, m *trace.RunMetrics, runErr error) {
+	dir := opts.HistoryDir
+	if dir == "" {
+		dir = os.Getenv(history.EnvDir)
+	}
+	if dir == "" {
+		return
+	}
+	l, err := history.Shared(dir)
+	if err != nil {
+		slog.Warn("diva: history ledger unavailable", "dir", dir, "err", err)
+		return
+	}
+	rec := &history.Record{
+		RunID:   m.RunID,
+		Outcome: RunOutcome(runErr),
+		Config:  historyConfig(sigma, opts),
+		Metrics: m,
+	}
+	if rel != nil {
+		rec.Dataset = history.FingerprintRelation(rel)
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	if err := l.Append(rec); err != nil {
+		slog.Warn("diva: history append failed", "dir", dir, "err", err)
+	}
+}

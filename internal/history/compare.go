@@ -1,0 +1,295 @@
+package history
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"diva/internal/trace"
+)
+
+// Thresholds parameterize the regression verdict. The defaults are tuned
+// for single-machine wall-clock series: a phase delta is a confirmed
+// regression only when it clears EVERY floor — a relative one (MaxRegress),
+// a robust-statistics one (MADFactor × the scaled median absolute deviation
+// of whichever sample is noisier), and an absolute one (MinAbs, so
+// microsecond phases can't regress by "300%" of nothing).
+type Thresholds struct {
+	// MaxRegress is the minimum relative slowdown (new/old − 1) to call a
+	// regression. Default 0.15 (15%).
+	MaxRegress float64
+	// MADFactor scales the noise floor derived from the samples' median
+	// absolute deviation (×1.4826, the consistency constant that makes MAD
+	// estimate a normal σ). Default 3 — a three-sigma-equivalent gate.
+	MADFactor float64
+	// MinAbs is the absolute floor. Default 5ms.
+	MinAbs time.Duration
+	// SingletonRel widens the relative floor to this when either side has
+	// fewer than 3 samples — with n=1 the MAD is identically zero and
+	// cannot estimate jitter, so the gate demands a grosser slowdown.
+	// Default 0.5 (50%).
+	SingletonRel float64
+}
+
+// DefaultThresholds returns the default gate tuning.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxRegress: 0.15, MADFactor: 3, MinAbs: 5 * time.Millisecond, SingletonRel: 0.5}
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.MaxRegress <= 0 {
+		t.MaxRegress = d.MaxRegress
+	}
+	if t.MADFactor <= 0 {
+		t.MADFactor = d.MADFactor
+	}
+	if t.MinAbs <= 0 {
+		t.MinAbs = d.MinAbs
+	}
+	if t.SingletonRel <= 0 {
+		t.SingletonRel = d.SingletonRel
+	}
+	return t
+}
+
+// Verdict classifies one compared series.
+const (
+	VerdictRegression  = "regression"  // slower beyond every noise floor
+	VerdictImprovement = "improvement" // faster beyond every noise floor
+	VerdictNoise       = "noise"       // delta within the floor
+	VerdictNew         = "new"         // phase only in the new records
+	VerdictGone        = "gone"        // phase only in the old records
+)
+
+// Delta is one compared series: a phase (or "total") across the old and new
+// sample sets.
+type Delta struct {
+	// Phase is the phase name, or "total" for the whole-run wall time.
+	Phase string `json:"phase"`
+	// OldMedian/NewMedian are the sample medians; OldN/NewN the sample sizes.
+	OldMedian time.Duration `json:"old_median_ns"`
+	NewMedian time.Duration `json:"new_median_ns"`
+	OldN      int           `json:"old_n"`
+	NewN      int           `json:"new_n"`
+	// Diff is NewMedian − OldMedian; Ratio is NewMedian/OldMedian − 1
+	// (0 when OldMedian is 0).
+	Diff  time.Duration `json:"diff_ns"`
+	Ratio float64       `json:"ratio"`
+	// Floor is the noise floor the diff was judged against.
+	Floor time.Duration `json:"floor_ns"`
+	// Verdict is one of the Verdict* constants.
+	Verdict string `json:"verdict"`
+}
+
+// Report is the outcome of comparing two record sets.
+type Report struct {
+	// Key identifies the experiment when the comparison was per-key
+	// (config hash "/" dataset hash); empty for an aggregate comparison.
+	Key string `json:"key,omitempty"`
+	// OldN/NewN are how many records each side contributed.
+	OldN int `json:"old_n"`
+	NewN int `json:"new_n"`
+	// Deltas has one entry per compared series, "total" first, then phases
+	// in canonical phase order.
+	Deltas []Delta `json:"deltas"`
+	// Regressions/Improvements count confirmed verdicts.
+	Regressions  int `json:"regressions"`
+	Improvements int `json:"improvements"`
+	// Thresholds echoes the tuning the verdicts used.
+	Thresholds Thresholds `json:"thresholds"`
+}
+
+func median(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mad returns the median absolute deviation of xs around its median.
+func mad(xs []time.Duration) time.Duration {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := median(xs)
+	dev := make([]time.Duration, len(xs))
+	for i, x := range xs {
+		d := x - m
+		if d < 0 {
+			d = -d
+		}
+		dev[i] = d
+	}
+	return median(dev)
+}
+
+// floor computes the noise floor for one series pair: the largest of the
+// relative floor (MaxRegress or SingletonRel of the old median), the robust
+// jitter floor (MADFactor × 1.4826 × the larger MAD), and MinAbs.
+func (t Thresholds) floor(oldS, newS []time.Duration, oldMed time.Duration) time.Duration {
+	rel := t.MaxRegress
+	if len(oldS) < 3 || len(newS) < 3 {
+		if t.SingletonRel > rel {
+			rel = t.SingletonRel
+		}
+	}
+	f := time.Duration(rel * float64(oldMed))
+	m := mad(oldS)
+	if nm := mad(newS); nm > m {
+		m = nm
+	}
+	if j := time.Duration(t.MADFactor * 1.4826 * float64(m)); j > f {
+		f = j
+	}
+	if t.MinAbs > f {
+		f = t.MinAbs
+	}
+	return f
+}
+
+func (t Thresholds) judge(oldS, newS []time.Duration) Delta {
+	d := Delta{OldN: len(oldS), NewN: len(newS)}
+	switch {
+	case len(oldS) == 0 && len(newS) == 0:
+		d.Verdict = VerdictNoise
+		return d
+	case len(oldS) == 0:
+		d.NewMedian = median(newS)
+		d.Verdict = VerdictNew
+		return d
+	case len(newS) == 0:
+		d.OldMedian = median(oldS)
+		d.Verdict = VerdictGone
+		return d
+	}
+	d.OldMedian = median(oldS)
+	d.NewMedian = median(newS)
+	d.Diff = d.NewMedian - d.OldMedian
+	if d.OldMedian > 0 {
+		d.Ratio = float64(d.NewMedian)/float64(d.OldMedian) - 1
+	}
+	d.Floor = t.floor(oldS, newS, d.OldMedian)
+	switch {
+	case d.Diff > d.Floor:
+		d.Verdict = VerdictRegression
+	case -d.Diff > d.Floor:
+		d.Verdict = VerdictImprovement
+	default:
+		d.Verdict = VerdictNoise
+	}
+	return d
+}
+
+// seriesKey orders phases canonically: "total" first, then engine phase
+// order, unknown names last alphabetically.
+func seriesLess(a, b string) bool {
+	rank := func(s string) int {
+		if s == "total" {
+			return -1
+		}
+		for i, ph := range trace.Phases() {
+			if string(ph) == s {
+				return i
+			}
+		}
+		return len(trace.Phases())
+	}
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
+
+// Compare judges new records against old ones, series by series: "total"
+// plus every phase appearing on either side. Records without metrics
+// contribute nothing. A zero Thresholds means DefaultThresholds.
+func Compare(old, new []*Record, t Thresholds) *Report {
+	t = t.withDefaults()
+	series := map[string][2][]time.Duration{}
+	collect := func(recs []*Record, side int) {
+		for _, r := range recs {
+			if r.Metrics == nil {
+				continue
+			}
+			s := series["total"]
+			s[side] = append(s[side], r.Metrics.Total)
+			series["total"] = s
+			for _, pt := range r.Metrics.Phases {
+				s := series[string(pt.Phase)]
+				s[side] = append(s[side], pt.Duration)
+				series[string(pt.Phase)] = s
+			}
+		}
+	}
+	collect(old, 0)
+	collect(new, 1)
+
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return seriesLess(names[i], names[j]) })
+
+	rep := &Report{OldN: len(old), NewN: len(new), Thresholds: t}
+	for _, n := range names {
+		s := series[n]
+		d := t.judge(s[0], s[1])
+		d.Phase = n
+		switch d.Verdict {
+		case VerdictRegression:
+			rep.Regressions++
+		case VerdictImprovement:
+			rep.Improvements++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep
+}
+
+// WriteText renders the report as an aligned table followed by the verdict
+// summary line ("confirmed regressions: N") that the CI smoke greps for.
+func (r *Report) WriteText(w io.Writer) error {
+	if r.Key != "" {
+		if _, err := fmt.Fprintf(w, "key %s (old n=%d, new n=%d)\n", r.Key, r.OldN, r.NewN); err != nil {
+			return err
+		}
+	}
+	const row = "%-12s %14s %14s %10s %8s %12s  %s\n"
+	if _, err := fmt.Fprintf(w, row, "PHASE", "OLD", "NEW", "DIFF", "RATIO", "FLOOR", "VERDICT"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		ratio := "-"
+		if d.Verdict != VerdictNew && d.Verdict != VerdictGone && d.OldMedian > 0 {
+			ratio = fmt.Sprintf("%+.1f%%", d.Ratio*100)
+		}
+		if _, err := fmt.Fprintf(w, row, d.Phase,
+			fmtDur(d.OldMedian), fmtDur(d.NewMedian), fmtDur(d.Diff), ratio,
+			fmtDur(d.Floor), d.Verdict); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "confirmed regressions: %d, improvements: %d\n", r.Regressions, r.Improvements)
+	return err
+}
+
+func fmtDur(d time.Duration) string {
+	neg := d < 0
+	if neg {
+		d = -d
+	}
+	s := d.Round(time.Microsecond).String()
+	if neg {
+		s = "-" + s
+	}
+	return s
+}

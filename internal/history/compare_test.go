@@ -1,0 +1,172 @@
+package history
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"diva/internal/trace"
+)
+
+// jittery builds n records whose color phase is base ± uniformly distributed
+// jitter and whose total is 2×.
+func jittery(rng *rand.Rand, n int, base, jitter time.Duration) []*Record {
+	recs := make([]*Record, n)
+	for i := range recs {
+		d := base
+		if jitter > 0 {
+			d += time.Duration(rng.Int63n(int64(2*jitter))) - jitter
+		}
+		recs[i] = &Record{
+			ID:      "jit",
+			Outcome: "ok",
+			Metrics: &trace.RunMetrics{
+				Total:  2 * d,
+				Phases: []trace.PhaseTiming{{Phase: trace.PhaseColor, Duration: d}},
+			},
+		}
+	}
+	return recs
+}
+
+func deltaFor(t *testing.T, rep *Report, phase string) Delta {
+	t.Helper()
+	for _, d := range rep.Deltas {
+		if d.Phase == phase {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q in %+v", phase, rep.Deltas)
+	return Delta{}
+}
+
+func TestCompareJitterIsNoise(t *testing.T) {
+	// Same true cost, ±20% jitter: the MAD floor must absorb it. Run many
+	// seeds so one lucky draw can't pass the test.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		old := jittery(rng, 9, 100*time.Millisecond, 20*time.Millisecond)
+		new := jittery(rng, 9, 100*time.Millisecond, 20*time.Millisecond)
+		rep := Compare(old, new, Thresholds{})
+		if rep.Regressions != 0 {
+			t.Errorf("seed %d: %d confirmed regressions on identical jittery series", seed, rep.Regressions)
+		}
+	}
+}
+
+func TestCompareRealRegressionConfirmed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		old := jittery(rng, 9, 100*time.Millisecond, 10*time.Millisecond)
+		new := jittery(rng, 9, 200*time.Millisecond, 10*time.Millisecond) // 2x slower
+		rep := Compare(old, new, Thresholds{})
+		d := deltaFor(t, rep, "color")
+		if d.Verdict != VerdictRegression {
+			t.Errorf("seed %d: 2x slowdown judged %q (floor %v, diff %v)", seed, d.Verdict, d.Floor, d.Diff)
+		}
+		if rep.Regressions == 0 {
+			t.Errorf("seed %d: report counted no regressions", seed)
+		}
+	}
+}
+
+func TestCompareImprovementConfirmed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	old := jittery(rng, 9, 200*time.Millisecond, 5*time.Millisecond)
+	new := jittery(rng, 9, 100*time.Millisecond, 5*time.Millisecond)
+	rep := Compare(old, new, Thresholds{})
+	if d := deltaFor(t, rep, "color"); d.Verdict != VerdictImprovement {
+		t.Errorf("2x speedup judged %q", d.Verdict)
+	}
+	if rep.Improvements == 0 {
+		t.Error("report counted no improvements")
+	}
+}
+
+func TestCompareSingletonWidensFloor(t *testing.T) {
+	// With n=1 on each side the MAD cannot estimate jitter, so the relative
+	// floor widens to SingletonRel (50%): a 30% delta must stay noise, a
+	// 100% delta must still be confirmed.
+	old := jittery(rand.New(rand.NewSource(2)), 1, 100*time.Millisecond, 0)
+	within := jittery(rand.New(rand.NewSource(3)), 1, 130*time.Millisecond, 0)
+	beyond := jittery(rand.New(rand.NewSource(4)), 1, 200*time.Millisecond, 0)
+
+	if d := deltaFor(t, Compare(old, within, Thresholds{}), "color"); d.Verdict != VerdictNoise {
+		t.Errorf("+30%% with n=1 judged %q, want noise (floor %v)", d.Verdict, d.Floor)
+	}
+	if d := deltaFor(t, Compare(old, beyond, Thresholds{}), "color"); d.Verdict != VerdictRegression {
+		t.Errorf("+100%% with n=1 judged %q, want regression (floor %v)", d.Verdict, d.Floor)
+	}
+}
+
+func TestCompareMinAbsFloor(t *testing.T) {
+	// Microsecond-scale phases (the CI smoke's tiny fixture) can triple
+	// without clearing the 5ms absolute floor.
+	old := jittery(rand.New(rand.NewSource(5)), 3, 200*time.Microsecond, 0)
+	new := jittery(rand.New(rand.NewSource(6)), 3, 600*time.Microsecond, 0)
+	rep := Compare(old, new, Thresholds{})
+	if rep.Regressions != 0 {
+		t.Errorf("sub-ms tripling crossed the MinAbs floor: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareNewAndGonePhases(t *testing.T) {
+	old := []*Record{{ID: "o", Metrics: &trace.RunMetrics{
+		Total:  time.Second,
+		Phases: []trace.PhaseTiming{{Phase: trace.PhaseColor, Duration: time.Second}},
+	}}}
+	new := []*Record{{ID: "n", Metrics: &trace.RunMetrics{
+		Total:  time.Second,
+		Phases: []trace.PhaseTiming{{Phase: trace.PhaseBaseline, Duration: time.Second}},
+	}}}
+	rep := Compare(old, new, Thresholds{})
+	if d := deltaFor(t, rep, "color"); d.Verdict != VerdictGone {
+		t.Errorf("color: %q, want gone", d.Verdict)
+	}
+	if d := deltaFor(t, rep, "baseline"); d.Verdict != VerdictNew {
+		t.Errorf("baseline: %q, want new", d.Verdict)
+	}
+	// Neither counts as a confirmed regression.
+	if rep.Regressions != 0 {
+		t.Errorf("new/gone phases counted as regressions")
+	}
+}
+
+func TestCompareCanonicalOrderAndText(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(base time.Duration) []*Record {
+		recs := jittery(rng, 3, base, 0)
+		for _, r := range recs {
+			r.Metrics.Phases = append(r.Metrics.Phases,
+				trace.PhaseTiming{Phase: trace.PhaseBind, Duration: base / 10})
+		}
+		return recs
+	}
+	rep := Compare(mk(50*time.Millisecond), mk(50*time.Millisecond), Thresholds{})
+	if len(rep.Deltas) < 3 || rep.Deltas[0].Phase != "total" || rep.Deltas[1].Phase != "bind" {
+		t.Fatalf("deltas not in canonical order: %+v", rep.Deltas)
+	}
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "confirmed regressions: 0") {
+		t.Errorf("text report missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "VERDICT") || !strings.Contains(out, "color") {
+		t.Errorf("text report missing table:\n%s", out)
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	d := Thresholds{}.withDefaults()
+	if d.MaxRegress != 0.15 || d.MADFactor != 3 || d.MinAbs != 5*time.Millisecond || d.SingletonRel != 0.5 {
+		t.Errorf("withDefaults: %+v", d)
+	}
+	custom := Thresholds{MaxRegress: 0.3}.withDefaults()
+	if custom.MaxRegress != 0.3 || custom.MinAbs != 5*time.Millisecond {
+		t.Errorf("partial override: %+v", custom)
+	}
+}

@@ -35,6 +35,8 @@ var (
 		"Fraction of QI cells preserved per published relation.", LinearBuckets(0.1, 0.1, 10))
 	mHeartbeats = Metrics.NewCounter("diva_search_heartbeats_total",
 		"KindProgress heartbeats received by the run registry.")
+	mRunsEvicted = Metrics.NewCounter("diva_runs_evicted_total",
+		"Completed runs dropped from the process-wide registry's ring to honor its retention cap.")
 	mShardedRuns = Metrics.NewCounter("diva_sharded_runs_total",
 		"Runs that executed the shard-and-merge engine.")
 	mSigmaComponents = Metrics.NewHistogram("diva_sigma_components",

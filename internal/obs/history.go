@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"diva/internal/history"
+)
+
+// The ledger metrics read the process's active ledger (history.Active) at
+// scrape time, so they appear as zeros until a run opens one — the same
+// "off by default" posture as the ledger itself.
+func init() {
+	Metrics.NewGaugeFunc("diva_history_ledger_bytes",
+		"Size of the active history ledger file.", func() float64 {
+			if l := history.Active(); l != nil {
+				return float64(l.Size())
+			}
+			return 0
+		})
+	Metrics.NewCounterFunc("diva_history_appends_total",
+		"Records appended to the active history ledger by this process.", func() int64 {
+			if l := history.Active(); l != nil {
+				return l.Appends()
+			}
+			return 0
+		})
+	Metrics.NewCounterFunc("diva_history_append_errors_total",
+		"Failed history-ledger appends in this process.", func() int64 {
+			if l := history.Active(); l != nil {
+				return l.Errors()
+			}
+			return 0
+		})
+}
+
+// historyRecords loads the active ledger's records, applying the request's
+// outcome/key/n query filters.
+func historyRecords(r *http.Request) (*history.Ledger, []*history.Record, int, error) {
+	l := history.Active()
+	if l == nil {
+		return nil, nil, 0, fmt.Errorf("no history ledger active (set Options.HistoryDir or %s)", history.EnvDir)
+	}
+	loaded, err := history.Load(l.Dir())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	q := r.URL.Query()
+	recs := history.Select(loaded.Records, history.Filter{
+		Outcome: q.Get("outcome"),
+		Key:     q.Get("key"),
+		Bench:   q.Get("bench"),
+	})
+	if nStr := q.Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 1 {
+			return nil, nil, 0, fmt.Errorf("bad n %q", nStr)
+		}
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+	}
+	return l, recs, loaded.Skipped, nil
+}
+
+// historyHandler serves /debug/diva/history: the ledgered runs as JSON
+// (default) or a text table (?format=text), filtered by ?outcome=, ?key=,
+// ?bench=yes|no and truncated to the last ?n=.
+func historyHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		l, recs, skipped, err := historyRecords(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			writeJSON(w, struct {
+				Dir     string            `json:"dir"`
+				Skipped int               `json:"skipped,omitempty"`
+				Records []*history.Record `json:"records"`
+			}{Dir: l.Dir(), Skipped: skipped, Records: recs})
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "ledger %s (%d records, %d skipped)\n", l.Dir(), len(recs), skipped)
+			const row = "%-18s %-20s %-11s %6s %10s %12s %9s\n"
+			fmt.Fprintf(w, row, "ID", "TIME", "OUTCOME", "K", "ROWS", "TOTAL", "ACCURACY")
+			for _, rec := range recs {
+				acc := "-"
+				if rec.Metrics != nil && rec.Metrics.Accuracy >= 0 {
+					acc = fmt.Sprintf("%.3f", rec.Metrics.Accuracy)
+				}
+				fmt.Fprintf(w, row, rec.ID, rec.Time.Format("2006-01-02T15:04:05"),
+					rec.Outcome, strconv.Itoa(rec.Config.K), strconv.Itoa(rec.Dataset.Rows),
+					rec.Total().Round(time.Microsecond).String(), acc)
+			}
+		default:
+			http.Error(w, "unknown format (want json or text)", http.StatusBadRequest)
+		}
+	}
+}
+
+// historyCompareHandler serves /debug/diva/history/compare?a=…&b=…: the
+// noise-floor regression report between two records (selectors: latest,
+// prev, #N, a record ID or unique ID prefix; default a=prev, b=latest) as
+// JSON (default) or the divahist text table (?format=text). ?max-regress=
+// overrides the relative floor (e.g. "0.25").
+func historyCompareHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_, recs, _, err := historyRecords(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		selA, selB := q.Get("a"), q.Get("b")
+		if selA == "" {
+			selA = "prev"
+		}
+		a, err := history.Find(recs, selA)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, err := history.Find(recs, selB)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var th history.Thresholds
+		if mr := q.Get("max-regress"); mr != "" {
+			v, err := strconv.ParseFloat(mr, 64)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad max-regress "+strconv.Quote(mr), http.StatusBadRequest)
+				return
+			}
+			th.MaxRegress = v
+		}
+		rep := history.Compare([]*history.Record{a}, []*history.Record{b}, th)
+		rep.Key = a.Key()
+		if b.Key() != a.Key() {
+			rep.Key = a.Key() + " vs " + b.Key()
+		}
+		switch q.Get("format") {
+		case "", "json":
+			writeJSON(w, rep)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
+		default:
+			http.Error(w, "unknown format (want json or text)", http.StatusBadRequest)
+		}
+	}
+}

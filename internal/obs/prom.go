@@ -177,6 +177,15 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
 	})
 }
 
+// NewCounterFunc registers a counter whose value is read at scrape time from
+// fn — for counts maintained elsewhere (e.g. the history ledger's append
+// counters). fn must be monotone non-decreasing to honor counter semantics.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	})
+}
+
 // NewHistogram registers and returns a histogram with the given bucket upper
 // bounds (+Inf is implicit).
 func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {

@@ -45,11 +45,12 @@ type RunInfo struct {
 // completed ones. It is goroutine-safe: runs register, heartbeat and finish
 // concurrently. Runs is the process-wide default used by the engine.
 type RunRegistry struct {
-	mu     sync.Mutex
-	nextID uint64
-	live   map[uint64]*Run
-	done   []RunInfo // completed runs, oldest first, capped at keep
-	keep   int
+	mu      sync.Mutex
+	nextID  uint64
+	live    map[uint64]*Run
+	done    []RunInfo // completed runs, oldest first, capped at keep
+	keep    int
+	evicted int64 // completed runs dropped from the ring to honor keep
 }
 
 // Runs is the process-wide run registry; core.Anonymize registers every run
@@ -111,13 +112,30 @@ func (r *RunRegistry) Snapshot() (live, completed []RunInfo) {
 	return live, completed
 }
 
+// Keep returns the completed-ring capacity the registry was constructed
+// with.
+func (r *RunRegistry) Keep() int { return r.keep }
+
+// Evicted returns how many completed runs have been dropped from the ring to
+// honor Keep — the observable face of what used to be a silent cap. The
+// process-wide registry also exposes it as diva_runs_evicted_total.
+func (r *RunRegistry) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
 func (r *RunRegistry) finish(info RunInfo) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.live, info.ID)
 	r.done = append(r.done, info)
-	if len(r.done) > r.keep {
-		r.done = r.done[len(r.done)-r.keep:]
+	if drop := len(r.done) - r.keep; drop > 0 {
+		r.done = r.done[drop:]
+		r.evicted += int64(drop)
+		if r == Runs {
+			mRunsEvicted.Add(int64(drop))
+		}
 	}
 }
 

@@ -75,6 +75,34 @@ func TestCompletedRing(t *testing.T) {
 	}
 }
 
+func TestEvictionObservable(t *testing.T) {
+	reg := NewRunRegistry(2)
+	if reg.Keep() != 2 {
+		t.Fatalf("Keep() = %d, want 2", reg.Keep())
+	}
+	if reg.Evicted() != 0 {
+		t.Fatalf("fresh registry Evicted() = %d", reg.Evicted())
+	}
+	for i := 0; i < 5; i++ {
+		reg.Begin().End(nil, nil)
+	}
+	if got := reg.Evicted(); got != 3 {
+		t.Fatalf("Evicted() = %d, want 3 (5 completed, 2 kept)", got)
+	}
+	// A dedicated registry must not touch the process-wide eviction counter.
+	if mRunsEvicted.Value() != evictionCounterBefore(t) {
+		t.Fatal("dedicated registry leaked into diva_runs_evicted_total")
+	}
+}
+
+// evictionCounterBefore returns the process-wide eviction count other tests
+// in this package may have produced through the global Runs registry; this
+// test only asserts its own registry added nothing on top.
+func evictionCounterBefore(t *testing.T) int64 {
+	t.Helper()
+	return Runs.Evicted()
+}
+
 func TestOutcomeClassification(t *testing.T) {
 	boom := errors.New("boom")
 	cases := []struct {

@@ -19,6 +19,11 @@ import (
 //	/debug/diva/profile/{id}  per-run search profile from profiles (see
 //	                          ?format=json|trace|folded|summary|explain); the
 //	                          bare path lists retained run IDs
+//	/debug/diva/history       the active run-history ledger (JSON, or a text
+//	                          table with ?format=text; filter with ?outcome=,
+//	                          ?key=, ?bench=, ?n=)
+//	/debug/diva/history/compare  noise-floor regression report between two
+//	                          records (?a=…&b=…, default prev vs latest)
 //
 // Pass Metrics, Runs and Profiles (the process-wide defaults) for a standard
 // ops server, or dedicated instances in tests.
@@ -39,13 +44,15 @@ func NewMux(reg *Registry, runs *RunRegistry, profiles *profile.Ring) *http.Serv
 		}{Live: live, Completed: completed})
 	})
 	mux.HandleFunc("/debug/diva/profile/", profileHandler(profiles))
+	mux.HandleFunc("/debug/diva/history", historyHandler())
+	mux.HandleFunc("/debug/diva/history/compare", historyCompareHandler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n/debug/diva/profile/\n"))
+		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n/debug/diva/profile/\n/debug/diva/history\n/debug/diva/history/compare\n"))
 	})
 	return mux
 }

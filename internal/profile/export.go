@@ -48,7 +48,10 @@ func (p *Profile) spanName(node int) string {
 // engine phases on one track, the reconstructed search tree on another,
 // loadable directly in Perfetto (ui.perfetto.dev) or chrome://tracing. The
 // output is the object form {"traceEvents": [...]} with microsecond
-// timestamps.
+// timestamps. Sharded runs additionally carry a "shard plan" instant event
+// (cat "shard") with the KindShard decomposition aggregates, and runs that
+// invoked the baseline partitioner a "baseline cuts" instant event (cat
+// "split") with the KindSplit aggregates, anchored at their phase starts.
 func (p *Profile) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
@@ -65,6 +68,22 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 	for _, ph := range p.Phases {
 		dur := micros(ph.End - ph.Start)
 		enc.emit(chromeEvent{Name: ph.Phase, Ph: "X", Ts: micros(ph.Start), Dur: &dur, Pid: 1, Tid: chromeTidPhases, Cat: "phase"})
+	}
+	if ss := p.Shards; ss != nil {
+		enc.emit(chromeEvent{Name: "shard plan", Ph: "i", Ts: p.phaseStart("build-graph"), Pid: 1, Tid: chromeTidPhases, Cat: "shard", Args: map[string]any{
+			"components":     ss.Components,
+			"component_rows": ss.ComponentRows,
+			"rest_shards":    ss.RestShards,
+			"rest_rows":      ss.RestRows,
+		}})
+	}
+	if bs := p.Baseline; bs != nil {
+		enc.emit(chromeEvent{Name: "baseline cuts", Ph: "i", Ts: p.phaseStart("baseline"), Pid: 1, Tid: chromeTidPhases, Cat: "split", Args: map[string]any{
+			"splits":      bs.Splits,
+			"leaves":      bs.Leaves,
+			"cut_wall_us": micros(bs.CutWall),
+			"max_depth":   bs.MaxDepth,
+		}})
 	}
 	if p.Root != nil {
 		p.emitSpan(enc, p.Root)
@@ -96,6 +115,18 @@ func (p *Profile) emitSpan(enc *chromeEncoder, s *Span) {
 	for _, c := range s.Children {
 		p.emitSpan(enc, c)
 	}
+}
+
+// phaseStart returns the start timestamp (µs) of the named phase, or 0 when
+// the phase never ran — instant aggregate events anchor there so Perfetto
+// shows them next to the work they summarize.
+func (p *Profile) phaseStart(name string) float64 {
+	for _, ph := range p.Phases {
+		if ph.Phase == name {
+			return micros(ph.Start)
+		}
+	}
+	return 0
 }
 
 func round3(f float64) float64 {

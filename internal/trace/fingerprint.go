@@ -1,0 +1,78 @@
+package trace
+
+import "strconv"
+
+// Fingerprint is an order-sensitive 64-bit FNV-1a accumulator for building
+// stable, dependency-free identity hashes out of run configuration: the
+// history ledger keys cross-run comparisons on fingerprints of the engine
+// options, the constraint workload Σ and the dataset dictionaries, so "the
+// same experiment, run last week" is a hash lookup instead of a judgement
+// call. The hash is stable across processes and platforms (it depends only
+// on the byte sequence fed in), but it is NOT cryptographic — it identifies
+// configurations, it does not authenticate them.
+//
+// The zero value is NOT ready to use; start from NewFingerprint (the FNV
+// offset basis) and chain Add calls:
+//
+//	fp := trace.NewFingerprint().AddString("census").AddInt(10)
+//	key := fp.String() // 16 hex digits
+type Fingerprint uint64
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// NewFingerprint returns the FNV-1a offset basis.
+func NewFingerprint() Fingerprint { return fnvOffset64 }
+
+// AddBytes folds b into the fingerprint byte by byte.
+func (f Fingerprint) AddBytes(b []byte) Fingerprint {
+	h := uint64(f)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return Fingerprint(h)
+}
+
+// AddString folds s into the fingerprint, terminated by a 0 byte so that
+// AddString("ab").AddString("c") differs from AddString("a").AddString("bc").
+func (f Fingerprint) AddString(s string) Fingerprint {
+	h := uint64(f)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Terminating multiply: a 0 byte's XOR is a no-op, so the extra prime
+	// round alone separates the boundary.
+	h *= fnvPrime64
+	return Fingerprint(h)
+}
+
+// AddUint64 folds n into the fingerprint as eight little-endian bytes.
+func (f Fingerprint) AddUint64(n uint64) Fingerprint {
+	h := uint64(f)
+	for i := 0; i < 8; i++ {
+		h ^= n & 0xff
+		h *= fnvPrime64
+		n >>= 8
+	}
+	return Fingerprint(h)
+}
+
+// AddInt folds n into the fingerprint.
+func (f Fingerprint) AddInt(n int) Fingerprint { return f.AddUint64(uint64(int64(n))) }
+
+// Sum returns the accumulated hash.
+func (f Fingerprint) Sum() uint64 { return uint64(f) }
+
+// String renders the hash as 16 lowercase hex digits — the textual form the
+// history ledger records and the divahist CLI match on.
+func (f Fingerprint) String() string {
+	s := strconv.FormatUint(uint64(f), 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+func TestFingerprintStability(t *testing.T) {
+	// The ledger stores these hashes on disk and compares them across
+	// processes and PRs: the exact values are part of the format. FNV-1a of
+	// the empty input is the offset basis; "a" is a standard test vector.
+	if got := NewFingerprint().String(); got != "cbf29ce484222325" {
+		t.Errorf("empty fingerprint = %s, want cbf29ce484222325", got)
+	}
+	if got := NewFingerprint().AddBytes([]byte("a")).Sum(); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("fnv1a(a) = %#x, want 0xaf63dc4c8601ec8c", got)
+	}
+}
+
+func TestFingerprintBoundaries(t *testing.T) {
+	ab := NewFingerprint().AddString("ab").AddString("c")
+	a := NewFingerprint().AddString("a").AddString("bc")
+	if ab == a {
+		t.Error("AddString must separate value boundaries")
+	}
+	if NewFingerprint().AddString("x") == NewFingerprint().AddBytes([]byte("x")) {
+		t.Error("AddString must differ from AddBytes (terminator round)")
+	}
+	if NewFingerprint().AddInt(1).AddInt(2) == NewFingerprint().AddInt(2).AddInt(1) {
+		t.Error("fingerprint must be order-sensitive")
+	}
+	if NewFingerprint().AddInt(-1) == NewFingerprint().AddInt(1) {
+		t.Error("AddInt must distinguish sign")
+	}
+}
+
+func TestFingerprintStringPadding(t *testing.T) {
+	if got := Fingerprint(0xab).String(); got != "00000000000000ab" {
+		t.Errorf("String() = %q, want 16 zero-padded digits", got)
+	}
+}
