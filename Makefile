@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke profile-smoke history-smoke verify fuzz-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke profile-smoke history-smoke nogood-smoke verify fuzz-smoke ci
 
 # Minimum statement coverage for the verification subsystem itself — the
 # checker that everything else leans on must stay tested.
@@ -233,6 +233,47 @@ history-smoke:
 		cat $$tmp/gate-bad.txt; exit 1; }; \
 	echo "history-smoke: ok (2 ledgered runs, diff noise-clean, gate trips on inflated color phase)"
 
+# nogood-smoke exercises conflict-driven nogood learning at the CLI level: a
+# dense-conflict census fixture (testdata/census-dense.sigma — four
+# overlapping cluster-forcing constraints at the densest satisfiable k) run
+# twice with -nogoods -verify -explain. The explainer must cite the learned
+# nogoods, -verify must accept the published relation, and the two
+# invocations must be byte-identical on stdout AND on stderr modulo wall
+# times — learning keyed on assignment fingerprints may not perturb replay
+# determinism.
+nogood-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$(GO) build -o $$tmp/datagen ./cmd/datagen; \
+	$$tmp/datagen -profile census -rows 200 -seed 7 >$$tmp/census.csv; \
+	$$tmp/diva -in $$tmp/census.csv -constraints testdata/census-dense.sigma \
+		-k 39 -seed 7 -nogoods -verify -explain \
+		>$$tmp/run1.csv 2>$$tmp/run1.log \
+		|| { echo "nogood-smoke: learning run failed"; cat $$tmp/run1.log; exit 1; }; \
+	$$tmp/diva -in $$tmp/census.csv -constraints testdata/census-dense.sigma \
+		-k 39 -seed 7 -nogoods -verify -explain \
+		>$$tmp/run2.csv 2>$$tmp/run2.log \
+		|| { echo "nogood-smoke: learning rerun failed"; cat $$tmp/run2.log; exit 1; }; \
+	grep -q 'learned nogoods' $$tmp/run1.log || { \
+		echo "nogood-smoke: explain output does not cite learned nogoods:"; \
+		cat $$tmp/run1.log; exit 1; }; \
+	grep -Eq 'learning: [1-9][0-9]* learned nogoods' $$tmp/run1.log || { \
+		echo "nogood-smoke: learner recorded zero nogoods on the dense fixture:"; \
+		cat $$tmp/run1.log; exit 1; }; \
+	grep -q 'verify ok' $$tmp/run1.log || { \
+		echo "nogood-smoke: -verify did not accept the learning run's output:"; \
+		cat $$tmp/run1.log; exit 1; }; \
+	cmp -s $$tmp/run1.csv $$tmp/run2.csv || { \
+		echo "nogood-smoke: learning runs published different relations"; exit 1; }; \
+	sed 's/ wall=[^ ]*//' $$tmp/run1.log >$$tmp/run1.norm; \
+	sed 's/ wall=[^ ]*//' $$tmp/run2.log >$$tmp/run2.norm; \
+	cmp -s $$tmp/run1.norm $$tmp/run2.norm || { \
+		echo "nogood-smoke: learning runs diverged on stderr (explain/stats)"; \
+		diff $$tmp/run1.log $$tmp/run2.log || true; exit 1; }; \
+	[ -s $$tmp/run1.csv ] || { echo "nogood-smoke: empty output"; exit 1; }; \
+	echo "nogood-smoke: ok (nogoods cited in explain, -verify clean, both invocations byte-identical)"
+
 # verify runs the differential-verification subsystem as its own gate: the
 # invariant checker and brute-force oracle unit tests, the differential and
 # metamorphic harnesses (several hundred micro-instances against the oracle),
@@ -255,4 +296,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
 
-ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke shard-smoke history-smoke
+ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke shard-smoke history-smoke nogood-smoke

@@ -201,6 +201,15 @@ const (
 	// (Label "rest": Node is the shard index, N its row count). Emitted
 	// sequentially by the coordinator; see Options.Shards.
 	KindShard = trace.KindShard
+	// KindNogood reports one learned nogood (Options.Nogoods): Node is the
+	// node whose visit exhausted, Members the conflict-set size, Depth the
+	// coloring depth. Replayed as batched per-node counts (N) after
+	// portfolio and sharded searches.
+	KindNogood = trace.KindNogood
+	// KindBackjump reports one conflict-directed backjump: Node is the
+	// landing node, Skipped the levels jumped over (each still emits its
+	// KindBacktrack), Depth the coloring depth at the landing.
+	KindBackjump = trace.KindBackjump
 )
 
 // Run phases, in execution order.
@@ -434,6 +443,15 @@ type Options struct {
 	// Parallel, when > 0, runs that many concurrent coloring searches (a
 	// strategy portfolio) and takes the first result.
 	Parallel int
+	// Nogoods enables conflict-driven nogood learning in the coloring
+	// search: exhausted nodes become learned conflict sets, the search
+	// backjumps to the deepest assignment actually in the conflict, and
+	// previously refuted partial colorings are pruned in O(1). Verdicts and
+	// ★ accounting match the chronological search (enforced by the
+	// differential suite in internal/verify); search effort on
+	// dense-conflict Σ drops. Portfolio workers share one store; sharded
+	// runs learn per component.
+	Nogoods bool
 	// Shards enables the shard-and-merge engine for large relations: the
 	// constraint set is decomposed into independent connected components
 	// colored concurrently, and the remaining tuples are partitioned in
@@ -527,6 +545,7 @@ func AnonymizeContext(ctx context.Context, rel *Relation, sigma Constraints, opt
 		Parallelism: opts.Parallelism,
 		Criterion:   crit,
 		Parallel:    opts.Parallel,
+		Nogoods:     opts.Nogoods,
 		Shards:      opts.Shards,
 		Hierarchies: opts.Hierarchies,
 		Tracer:      opts.Tracer,

@@ -214,6 +214,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-cap", Title: "DIVA vs candidate budget", Run: AblationCandidateCap},
 		{ID: "ablation-sample", Title: "k-member vs sample cap", Run: AblationSampleCap},
 		{ID: "ablation-parallel", Title: "Sequential vs portfolio coloring", Run: AblationParallel},
+		{ID: "nogood", Title: "Nogood learning vs chronological backtracking", Run: NogoodBench},
 	}
 }
 

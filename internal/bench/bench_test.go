@@ -38,6 +38,7 @@ func TestExperimentsRegistry(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig5d",
 		"baseline", "shard",
 		"ablation-cap", "ablation-sample", "ablation-parallel",
+		"nogood",
 	}
 	if len(exps) != len(wantIDs) {
 		t.Fatalf("%d experiments", len(exps))

@@ -109,6 +109,20 @@ type Options struct {
 	// searches, whereas sharding splits one search into independent
 	// components.
 	Shards int
+	// Nogoods enables conflict-driven learning in the coloring search: every
+	// exhausted node contributes a learned nogood (derived from blocker
+	// attribution), the search backjumps to the deepest assignment in the
+	// conflict set, and learned nogoods prune previously refuted partial
+	// colorings. Portfolio workers (Parallel) share one store, exchanging
+	// conflict proofs across strategies; sharded runs learn per component.
+	// Verdicts and ★ accounting are unchanged by learning (DESIGN.md §13 and
+	// the internal/verify differential suite); what changes is search effort
+	// on dense-conflict Σ.
+	Nogoods bool
+	// NogoodCapacity bounds the learned-nogood store (0 means
+	// search.DefaultNogoodCapacity). Evicting a nogood costs re-exploration,
+	// never correctness.
+	NogoodCapacity int
 	// Hierarchies, when non-nil, renders clusters by generalization
 	// instead of suppression: a QI attribute a cluster disagrees on lifts
 	// to the least common ancestor of its values (★ only when no finer
@@ -204,6 +218,8 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 		m.Total = time.Since(start)
 		m.Steps, m.Backtracks, m.CandidatesTried = stats.Steps, stats.Backtracks, stats.CandidatesTried
 		m.CandidateCacheHits, m.CandidateCacheMisses = stats.CacheHits, stats.CacheMisses
+		m.NogoodsLearned, m.NogoodHits = stats.NogoodsLearned, stats.NogoodHits
+		m.Backjumps, m.MaxBackjump = stats.Backjumps, stats.MaxBackjump
 		m.PortfolioWorkers = opts.Parallel
 		m.Canceled = errors.Is(err, ErrCanceled)
 		if res == nil {
@@ -351,6 +367,9 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 				rest := n - used
 				return rest == 0 || rest >= opts.K
 			},
+		}
+		if opts.Nogoods {
+			searchOpts.Nogoods = search.NewNogoodStore(opts.NogoodCapacity)
 		}
 		var found bool
 		if opts.Parallel > 0 {

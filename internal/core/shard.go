@@ -148,6 +148,12 @@ func runSharded(ctx context.Context, e *runEnv, shards int) (*Result, error) {
 					Ctx:      c,
 					Tracer:   wtr,
 				}
+				if opts.Nogoods {
+					// Per-component store: node indexes and fingerprints are
+					// component-local, so sharing across components would only
+					// produce dead buckets.
+					sopts.Nogoods = search.NewNogoodStore(opts.NogoodCapacity)
+				}
 				clusterings[ci], compStats[ci], found[ci] = graphs[ci].Color(sopts)
 			}()
 		}
@@ -163,6 +169,10 @@ func runSharded(ctx context.Context, e *runEnv, shards int) (*Result, error) {
 			Candidates:  e.stats.CandidatesTried,
 			CacheHits:   e.stats.CacheHits,
 			CacheMisses: e.stats.CacheMisses,
+			Nogoods:     e.stats.NogoodsLearned,
+			NogoodHits:  e.stats.NogoodHits,
+			Backjumps:   e.stats.Backjumps,
+			MaxBackjump: e.stats.MaxBackjump,
 			Worker:      -1,
 		})
 		for ci := range comps {

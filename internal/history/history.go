@@ -71,6 +71,10 @@ type Config struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	Parallel    int `json:"parallel,omitempty"`
 	MaxSteps    int `json:"max_steps,omitempty"`
+	// Nogoods reports whether conflict-driven nogood learning was on. A
+	// learning run is a different experiment from a chronological one —
+	// verdicts agree but search effort does not, so the hashes must differ.
+	Nogoods bool `json:"nogoods,omitempty"`
 	// Constraints is |Σ| and SigmaHash a stable fingerprint of the
 	// constraint set (order-insensitive), so "same Σ" is comparable without
 	// storing the workload itself.
@@ -83,7 +87,7 @@ type Config struct {
 
 // Hash returns the config's stable fingerprint (16 hex digits).
 func (c Config) Hash() string {
-	return trace.NewFingerprint().
+	fp := trace.NewFingerprint().
 		AddInt(c.K).
 		AddString(c.Criterion).
 		AddString(c.Strategy).
@@ -94,8 +98,13 @@ func (c Config) Hash() string {
 		AddInt(c.MaxSteps).
 		AddInt(c.Constraints).
 		AddString(c.SigmaHash).
-		AddString(c.Bench).
-		String()
+		AddString(c.Bench)
+	if c.Nogoods {
+		// Folded in only when set so hashes of pre-learning records are
+		// unchanged and cross-run comparison against old ledgers still joins.
+		fp = fp.AddString("nogoods")
+	}
+	return fp.String()
 }
 
 // Dataset is the input-relation fingerprint of a run: enough to tell "same

@@ -49,9 +49,11 @@ func (p *Profile) spanName(node int) string {
 // loadable directly in Perfetto (ui.perfetto.dev) or chrome://tracing. The
 // output is the object form {"traceEvents": [...]} with microsecond
 // timestamps. Sharded runs additionally carry a "shard plan" instant event
-// (cat "shard") with the KindShard decomposition aggregates, and runs that
+// (cat "shard") with the KindShard decomposition aggregates, runs that
 // invoked the baseline partitioner a "baseline cuts" instant event (cat
-// "split") with the KindSplit aggregates, anchored at their phase starts.
+// "split") with the KindSplit aggregates, and learning runs a "nogood
+// learning" instant event (cat "nogood") with the learned-clause and
+// backjump totals, each anchored at its phase start.
 func (p *Profile) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
@@ -75,6 +77,14 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 			"component_rows": ss.ComponentRows,
 			"rest_shards":    ss.RestShards,
 			"rest_rows":      ss.RestRows,
+		}})
+	}
+	if t := p.Totals; t.Nogoods > 0 || t.NogoodHits > 0 || t.Backjumps > 0 {
+		enc.emit(chromeEvent{Name: "nogood learning", Ph: "i", Ts: p.phaseStart("color"), Pid: 1, Tid: chromeTidSearch, Cat: "nogood", Args: map[string]any{
+			"nogoods":      t.Nogoods,
+			"nogood_hits":  t.NogoodHits,
+			"backjumps":    t.Backjumps,
+			"max_backjump": t.MaxBackjump,
 		}})
 	}
 	if bs := p.Baseline; bs != nil {
@@ -226,6 +236,10 @@ func (p *Profile) WriteSummary(w io.Writer) error {
 	}
 	fmt.Fprintf(bw, "search: steps=%d backtracks=%d candidates=%d cache-hit-ratio=%.2f max-depth=%d spans=%d\n",
 		t.Steps, t.Backtracks, t.Candidates, hitRatio, p.MaxDepth, p.SpanCount)
+	if t.Nogoods > 0 || t.NogoodHits > 0 || t.Backjumps > 0 {
+		fmt.Fprintf(bw, "learning: nogoods=%d hits=%d backjumps=%d max-backjump=%d\n",
+			t.Nogoods, t.NogoodHits, t.Backjumps, t.MaxBackjump)
+	}
 	if p.Flat {
 		fmt.Fprintln(bw, "note: portfolio run — per-node aggregates only, no span tree")
 	}

@@ -125,6 +125,11 @@ type NodeStat struct {
 	// rejections across all visits attributed to THIS node's upper bound.
 	BlockedBy map[int]int `json:"blocked_by,omitempty"`
 	Blamed    int         `json:"blamed"`
+	// Nogoods counts learned nogoods whose deriving visit exhausted at this
+	// node; Backjumps counts conflict-directed backjumps that landed here
+	// (both zero unless nogood learning was on).
+	Nogoods   int `json:"nogoods,omitempty"`
+	Backjumps int `json:"backjumps,omitempty"`
 	// SelfWall and SubtreeWall sum the corresponding span times over this
 	// node's spans (zero when the tree is unavailable). Spans of one node
 	// never nest within each other — a node is colored at most once per
@@ -198,6 +203,13 @@ type Totals struct {
 	Candidates  int `json:"candidates"`
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// Nogood-learning counters (zero unless Options.Nogoods was on): learned
+	// conflicts, store-probe prunings, conflict-directed backjumps and the
+	// deepest single backjump in levels.
+	Nogoods     int `json:"nogoods,omitempty"`
+	NogoodHits  int `json:"nogood_hits,omitempty"`
+	Backjumps   int `json:"backjumps,omitempty"`
+	MaxBackjump int `json:"max_backjump,omitempty"`
 }
 
 // Profile is a finalized search profile: the reconstructed tree, flat
@@ -436,16 +448,34 @@ func (p *Profiler) Trace(ev trace.Event) {
 			RejectedOverlap: ev.RejectedOverlap,
 			Blocker:         ev.Blocker,
 		}
+	case trace.KindNogood:
+		// One learned nogood (or a replayed batch of ev.N) derived at an
+		// exhausted visit to ev.Node. The conflict-set size (Members) is not
+		// aggregated per node — the totals and ledger carry the counts.
+		p.node(ev.Node).Nogoods += batch(ev.N)
+	case trace.KindBackjump:
+		p.node(ev.Node).Backjumps += batch(ev.N)
+		if ev.Skipped > p.prof.Totals.MaxBackjump {
+			p.prof.Totals.MaxBackjump = ev.Skipped
+		}
 	case trace.KindProgress:
 		// The final heartbeat carries exact totals; en route, keep the
 		// largest seen so concurrent portfolio workers never roll them back.
 		if ev.Steps >= p.prof.Totals.Steps {
+			maxBJ := p.prof.Totals.MaxBackjump
+			if ev.MaxBackjump > maxBJ {
+				maxBJ = ev.MaxBackjump
+			}
 			p.prof.Totals = Totals{
 				Steps:       ev.Steps,
 				Backtracks:  ev.Backtracks,
 				Candidates:  ev.Candidates,
 				CacheHits:   ev.CacheHits,
 				CacheMisses: ev.CacheMisses,
+				Nogoods:     ev.Nogoods,
+				NogoodHits:  ev.NogoodHits,
+				Backjumps:   ev.Backjumps,
+				MaxBackjump: maxBJ,
 			}
 		}
 		if ev.Depth > p.prof.MaxDepth {

@@ -1,0 +1,201 @@
+package search
+
+import "sync"
+
+// nogoodMember is one assignment inside a learned conflict set: a
+// constraint-graph node and the fingerprint of the clustering it was
+// colored with when the conflict was derived.
+type nogoodMember struct {
+	node  int
+	fp    uint64
+	depth int
+}
+
+// nogood is one learned conflict: the recorded member assignments are
+// jointly unextendable to an accepted coloring (within the engine's
+// candidate-generation envelope — see DESIGN.md §13). owner is the node
+// whose visit exhausted when the nogood was derived and stateFp the full
+// assignment fingerprint at that visit, keying the O(1) exact-state probe.
+type nogood struct {
+	members []nogoodMember
+	owner   int
+	stateFp uint64
+	// watched are the bucket keys this nogood is indexed under: its two
+	// deepest members by assignment depth at learning time (one for
+	// single-member conflicts). Deep members are unassigned first on
+	// backtracking and re-assigned last on other branches, so when a watched
+	// assignment is about to be re-made the remaining members are the ones
+	// most likely to already be in place — the same intuition as SAT's
+	// two-watched literals, adapted to fingerprint-keyed lookup instead of
+	// propagation.
+	watched [2]watchKey
+	nwatch  int
+}
+
+// watchKey addresses one watch bucket: a (node, clustering-fingerprint)
+// assignment.
+type watchKey struct {
+	node int
+	fp   uint64
+}
+
+// visitKey addresses one exact-state record: a node whose visit exhausted
+// under a full assignment fingerprint.
+type visitKey struct {
+	node    int
+	stateFp uint64
+}
+
+// DefaultNogoodCapacity bounds a store built with capacity 0.
+const DefaultNogoodCapacity = 8192
+
+// maxWatchedMembers caps the conflict-set size indexed for subset-style
+// candidate pruning. Larger conflicts (e.g. the blame-everything sets an
+// Accept rejection produces) almost never re-match member by member, so
+// they are kept only for the exact-state probe.
+const maxWatchedMembers = 32
+
+// NogoodStore is a bounded, goroutine-safe store of learned nogoods. One
+// store serves one coloring problem: node indexes and clustering
+// fingerprints are only meaningful against the graph the search runs on, so
+// the engine creates a fresh store per run (and per shard component).
+// Portfolio workers share a single store, exchanging conflict proofs across
+// strategies.
+//
+// When full, the oldest nogood is evicted (learning order); losing a nogood
+// costs re-exploration, never correctness.
+type NogoodStore struct {
+	mu       sync.RWMutex
+	capacity int
+	ring     []*nogood
+	next     int
+	learned  int
+	buckets  map[watchKey][]*nogood
+	visits   map[visitKey]*nogood
+}
+
+// NewNogoodStore returns an empty store holding at most capacity nogoods
+// (DefaultNogoodCapacity when capacity <= 0).
+func NewNogoodStore(capacity int) *NogoodStore {
+	if capacity <= 0 {
+		capacity = DefaultNogoodCapacity
+	}
+	return &NogoodStore{
+		capacity: capacity,
+		buckets:  make(map[watchKey][]*nogood),
+		visits:   make(map[visitKey]*nogood),
+	}
+}
+
+// Len reports the nogoods currently held; Learned the total ever recorded
+// (evictions included).
+func (s *NogoodStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ring)
+}
+
+func (s *NogoodStore) Learned() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.learned
+}
+
+// learn records a conflict derived at owner's exhausted visit under the
+// full-assignment fingerprint stateFp. members must name currently assigned
+// nodes with their clustering fingerprints; the slice is retained.
+func (s *NogoodStore) learn(owner int, stateFp uint64, members []nogoodMember) {
+	ng := &nogood{members: members, owner: owner, stateFp: stateFp}
+	// Watch the two deepest members (deepest = assigned last when learning).
+	if n := len(members); n > 0 && n <= maxWatchedMembers {
+		d1, d2 := -1, -1 // indexes of deepest and second-deepest
+		for i, m := range members {
+			switch {
+			case d1 < 0 || m.depth > members[d1].depth:
+				d1, d2 = i, d1
+			case d2 < 0 || m.depth > members[d2].depth:
+				d2 = i
+			}
+		}
+		for _, di := range []int{d1, d2} {
+			if di >= 0 {
+				ng.watched[ng.nwatch] = watchKey{node: members[di].node, fp: members[di].fp}
+				ng.nwatch++
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.learned++
+	if len(s.ring) >= s.capacity {
+		s.evictLocked()
+	}
+	s.ring = append(s.ring, ng)
+	for i := 0; i < ng.nwatch; i++ {
+		s.buckets[ng.watched[i]] = append(s.buckets[ng.watched[i]], ng)
+	}
+	s.visits[visitKey{node: owner, stateFp: stateFp}] = ng
+}
+
+// evictLocked drops the oldest nogood and unindexes it.
+func (s *NogoodStore) evictLocked() {
+	old := s.ring[0]
+	s.ring = s.ring[1:]
+	for i := 0; i < old.nwatch; i++ {
+		key := old.watched[i]
+		bucket := s.buckets[key]
+		for j, ng := range bucket {
+			if ng == old {
+				bucket = append(bucket[:j], bucket[j+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(s.buckets, key)
+		} else {
+			s.buckets[key] = bucket
+		}
+	}
+	vk := visitKey{node: old.owner, stateFp: old.stateFp}
+	if s.visits[vk] == old {
+		delete(s.visits, vk)
+	}
+}
+
+// probeVisit reports whether node's visit under the exact full-assignment
+// fingerprint stateFp was already proven to exhaust, returning the recorded
+// nogood (its members supply the conflict blame) or nil.
+func (s *NogoodStore) probeVisit(node int, stateFp uint64) *nogood {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.visits[visitKey{node: node, stateFp: stateFp}]
+}
+
+// probeCandidate reports whether assigning candidate fingerprint fp to node
+// would complete a learned nogood against the current assignment (colored
+// and fps indexed by graph node). It scans the watch bucket for (node, fp)
+// and returns the first nogood whose every other member is presently
+// assigned with a matching fingerprint, or nil. Missing a match (because a
+// nogood's watched members were assigned in an unusual order) costs
+// re-exploration, never correctness.
+func (s *NogoodStore) probeCandidate(node int, fp uint64, colored []bool, fps []uint64) *nogood {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bucket := s.buckets[watchKey{node: node, fp: fp}]
+scan:
+	for _, ng := range bucket {
+		for _, m := range ng.members {
+			if m.node == node {
+				if m.fp != fp {
+					continue scan
+				}
+				continue
+			}
+			if !colored[m.node] || fps[m.node] != m.fp {
+				continue scan
+			}
+		}
+		return ng
+	}
+	return nil
+}

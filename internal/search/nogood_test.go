@@ -1,0 +1,184 @@
+package search
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"diva/internal/cluster"
+	"diva/internal/constraint"
+)
+
+// TestColorWithNogoodsPaperExample runs the paper instance with learning
+// enabled under every strategy: the coloring must still be found and must
+// satisfy the same structural invariants as the chronological search's.
+func TestColorWithNogoodsPaperExample(t *testing.T) {
+	for _, strat := range []Strategy{Basic, MinChoice, MaxFanOut} {
+		t.Run(strat.String(), func(t *testing.T) {
+			rel := paperRelation(t)
+			g := BuildGraph(rel, paperBounds(t, rel), cluster.Options{K: 2})
+			store := NewNogoodStore(0)
+			sigma, stats, found := g.Color(Options{Strategy: strat, Rng: testRng(), Nogoods: store})
+			if !found {
+				t.Fatalf("no coloring found with learning (stats %+v)", stats)
+			}
+			rows := map[int]bool{}
+			forced := false
+			for _, c := range sigma {
+				if len(c) == 2 && c[0] == 4 && c[1] == 5 {
+					forced = true
+				}
+				for _, r := range c {
+					if rows[r] {
+						t.Fatalf("row %d in two clusters", r)
+					}
+					rows[r] = true
+				}
+			}
+			if !forced {
+				t.Errorf("SΣ = %v missing forced African cluster {4,5}", sigma)
+			}
+		})
+	}
+}
+
+// TestColorWithNogoodsUnsatisfiable: learning must not flip an infeasible
+// verdict, and the exhaustion proof should actually learn conflicts.
+func TestColorWithNogoodsUnsatisfiable(t *testing.T) {
+	rel := paperRelation(t)
+	sigma := constraint.Set{
+		constraint.New("ETH", "Asian", 2, 5),
+		constraint.New("ETH", "African", 2, 2),
+		constraint.New("CTY", "Vancouver", 2, 4),
+	}
+	bounds, err := sigma.Bind(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(rel, bounds, cluster.Options{K: 3})
+	store := NewNogoodStore(0)
+	_, stats, found := g.Color(Options{Strategy: MinChoice, Nogoods: store})
+	if found {
+		t.Fatal("infeasible instance reported satisfiable with learning on")
+	}
+	if stats.NogoodsLearned != store.Learned() {
+		t.Errorf("stats.NogoodsLearned = %d, store.Learned() = %d", stats.NogoodsLearned, store.Learned())
+	}
+}
+
+// TestNogoodStatsMergeAndReplay checks learning counters survive Merge and
+// that ReplayInto re-emits batched nogood/backjump events with exact totals.
+func TestNogoodStatsMergeAndReplay(t *testing.T) {
+	a := Stats{NogoodsLearned: 3, NogoodHits: 2, Backjumps: 4, MaxBackjump: 5}
+	b := Stats{NogoodsLearned: 1, NogoodHits: 7, Backjumps: 2, MaxBackjump: 9}
+	a.Merge(b)
+	if a.NogoodsLearned != 4 || a.NogoodHits != 9 || a.Backjumps != 6 || a.MaxBackjump != 9 {
+		t.Fatalf("merge = %+v", a)
+	}
+}
+
+// TestNogoodStoreEviction fills a tiny store past capacity and checks the
+// bounded-ring invariants: Len never exceeds capacity, Learned keeps the
+// total, and evicted nogoods are unindexed from both probe paths.
+func TestNogoodStoreEviction(t *testing.T) {
+	s := NewNogoodStore(2)
+	for i := 0; i < 5; i++ {
+		s.learn(i, uint64(100+i), []nogoodMember{{node: i, fp: uint64(10 + i), depth: 0}})
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Learned() != 5 {
+		t.Fatalf("Learned = %d, want 5", s.Learned())
+	}
+	if ng := s.probeVisit(0, 100); ng != nil {
+		t.Error("evicted nogood still reachable via probeVisit")
+	}
+	colored := make([]bool, 5)
+	fps := make([]uint64, 5)
+	if ng := s.probeCandidate(0, 10, colored, fps); ng != nil {
+		t.Error("evicted nogood still reachable via probeCandidate")
+	}
+	if ng := s.probeVisit(4, 104); ng == nil {
+		t.Error("recent nogood missing from probeVisit")
+	}
+	if ng := s.probeCandidate(4, 14, colored, fps); ng == nil {
+		t.Error("recent single-member nogood missing from probeCandidate")
+	}
+}
+
+// TestNogoodProbeCandidateMatchesOnlyFullConflicts: a multi-member nogood
+// must not fire unless every other member is assigned with the matching
+// clustering fingerprint.
+func TestNogoodProbeCandidateMatchesOnlyFullConflicts(t *testing.T) {
+	s := NewNogoodStore(0)
+	s.learn(7, 999, []nogoodMember{
+		{node: 1, fp: 11, depth: 0},
+		{node: 2, fp: 22, depth: 1},
+		{node: 3, fp: 33, depth: 2},
+	})
+	colored := make([]bool, 4)
+	fps := make([]uint64, 4)
+	// Watched keys are the two deepest members: nodes 3 and 2.
+	if ng := s.probeCandidate(3, 33, colored, fps); ng != nil {
+		t.Error("fired with no other members assigned")
+	}
+	colored[1], fps[1] = true, 11
+	colored[2], fps[2] = true, 22
+	if ng := s.probeCandidate(3, 33, colored, fps); ng == nil {
+		t.Error("did not fire with all other members assigned")
+	}
+	fps[1] = 12 // same node, different clustering
+	if ng := s.probeCandidate(3, 33, colored, fps); ng != nil {
+		t.Error("fired despite fingerprint mismatch on member")
+	}
+}
+
+// TestPortfolioSharedNogoodStore runs the portfolio with one shared store;
+// exercised under -race this checks the store's goroutine safety, and the
+// returned stats must aggregate every worker's learning counters.
+func TestPortfolioSharedNogoodStore(t *testing.T) {
+	rel := paperRelation(t)
+	g := BuildGraph(rel, paperBounds(t, rel), cluster.Options{K: 2})
+	store := NewNogoodStore(0)
+	sigma, stats, found := g.ColorPortfolio(Options{Nogoods: store}, 6, 42)
+	if !found {
+		t.Fatalf("portfolio found no coloring (stats %+v)", stats)
+	}
+	if sigma == nil {
+		t.Fatal("nil coloring")
+	}
+	if stats.NogoodsLearned != store.Learned() {
+		t.Errorf("aggregated NogoodsLearned = %d, store.Learned() = %d",
+			stats.NogoodsLearned, store.Learned())
+	}
+}
+
+// TestBasicStateSelectionIsStatePure: with learning on, Basic's node choice
+// must be a pure function of search state (not visit count), otherwise
+// sound pruning could steer the search past solutions it would have found.
+// Two runs from the same seed must agree exactly.
+func TestBasicStateSelectionIsStatePure(t *testing.T) {
+	run := func() (cluster.Clustering, Stats, bool) {
+		rel := paperRelation(t)
+		g := BuildGraph(rel, paperBounds(t, rel), cluster.Options{K: 2})
+		return g.Color(Options{Strategy: Basic, Rng: rand.New(rand.NewPCG(7, 3)), Nogoods: NewNogoodStore(0)})
+	}
+	s1, st1, ok1 := run()
+	s2, st2, ok2 := run()
+	if ok1 != ok2 || st1.Steps != st2.Steps {
+		t.Fatalf("runs diverged: ok %v/%v steps %d/%d", ok1, ok2, st1.Steps, st2.Steps)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("clusterings diverged: %v vs %v", s1, s2)
+	}
+	for i := range s1 {
+		if len(s1[i]) != len(s2[i]) {
+			t.Fatalf("cluster %d diverged: %v vs %v", i, s1[i], s2[i])
+		}
+		for j := range s1[i] {
+			if s1[i][j] != s2[i][j] {
+				t.Fatalf("cluster %d diverged: %v vs %v", i, s1[i], s2[i])
+			}
+		}
+	}
+}

@@ -58,6 +58,7 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 		stop    atomic.Bool
 		mu      sync.Mutex
 		best    *outcome
+		learn   Stats // every worker's learning activity against the shared store
 		wg      sync.WaitGroup
 		fullRot = []Strategy{MinChoice, MaxFanOut, Basic}
 	)
@@ -72,25 +73,39 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 			wopts.cancel = &stop
 			wopts.worker = w + 1
 			sigma, stats, found := g.Color(wopts)
-			if !found {
-				return
-			}
 			mu.Lock()
 			defer mu.Unlock()
-			if best == nil {
+			// Learning counters aggregate across ALL workers — the nogood
+			// store is shared, so losers' learned conflicts pruned work for
+			// everyone and belong in the run's totals.
+			learn.NogoodsLearned += stats.NogoodsLearned
+			learn.NogoodHits += stats.NogoodHits
+			learn.Backjumps += stats.Backjumps
+			if stats.MaxBackjump > learn.MaxBackjump {
+				learn.MaxBackjump = stats.MaxBackjump
+			}
+			if found && best == nil {
 				best = &outcome{sigma: sigma, stats: stats, worker: w, strat: wopts.Strategy}
 				stop.Store(true)
 			}
 		}()
 	}
 	wg.Wait()
+	stampLearning := func(s *Stats) {
+		s.NogoodsLearned = learn.NogoodsLearned
+		s.NogoodHits = learn.NogoodHits
+		s.Backjumps = learn.Backjumps
+		s.MaxBackjump = learn.MaxBackjump
+	}
 	if best == nil {
 		var stats Stats
+		stampLearning(&stats)
 		if opts.Ctx != nil {
 			stats.Err = opts.Ctx.Err() // nil unless canceled
 		}
 		return nil, stats, false
 	}
+	stampLearning(&best.stats)
 	if tr != nil {
 		// Replay the winner's per-node search activity (suppressed while the
 		// portfolio raced) as batched events, then pin the exact totals with
@@ -103,6 +118,10 @@ func (g *Graph) ColorPortfolio(opts Options, workers int, seed uint64) (cluster.
 			Candidates:  best.stats.CandidatesTried,
 			CacheHits:   best.stats.CacheHits,
 			CacheMisses: best.stats.CacheMisses,
+			Nogoods:     best.stats.NogoodsLearned,
+			NogoodHits:  best.stats.NogoodHits,
+			Backjumps:   best.stats.Backjumps,
+			MaxBackjump: best.stats.MaxBackjump,
 			Worker:      best.worker,
 		})
 		tr.Trace(trace.Event{Kind: trace.KindWorkerWin, N: best.worker, Strategy: best.strat.String()})

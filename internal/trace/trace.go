@@ -119,6 +119,20 @@ const (
 	// coordinating goroutine before any parallel work starts, so tracers see
 	// them sequentially.
 	KindShard
+	// KindNogood reports that the coloring search learned a nogood: node
+	// Event.Node's visit exhausted and the conflict set blamed for it —
+	// Event.Members assignments — was recorded in the learned-nogood store so
+	// equivalent partial colorings are refuted without re-exploration.
+	// Event.N is a replay batch size when a portfolio winner replays its
+	// per-node counts (0 means 1; batched replays carry no Members).
+	KindNogood
+	// KindBackjump reports a conflict-directed backjump: after node
+	// Event.Node's subtree exhausted, the search retreated directly to the
+	// deepest assignment in the conflict set, skipping Event.Skipped
+	// chronological backtrack levels whose assignments the conflict did not
+	// involve. Event.Node is the node the jump landed on and Event.Depth the
+	// colored depth there. Event.N is a replay batch size, as for KindNogood.
+	KindBackjump
 )
 
 // String names the event kind.
@@ -150,6 +164,10 @@ func (k EventKind) String() string {
 		return "split"
 	case KindShard:
 		return "shard"
+	case KindNogood:
+		return "nogood"
+	case KindBackjump:
+		return "backjump"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -202,6 +220,17 @@ type Event struct {
 	// rejections by reason, and the node whose upper bound rejected the most
 	// candidates (−1 when no upper-bound rejection occurred).
 	Enumerated, RejectedOverlap, RejectedUpper, Blocker int
+	// Members is the size of a learned conflict set, set for live KindNogood
+	// events (0 on batched replays).
+	Members int
+	// Skipped counts the chronological backtrack levels a backjump leapt
+	// over, set for live KindBackjump events (0 on batched replays).
+	Skipped int
+	// Nogoods, NogoodHits, Backjumps and MaxBackjump are the emitting
+	// search's cumulative nogood-learning counters, set for KindProgress:
+	// conflict sets learned, candidates pruned by a store hit, backjumps
+	// taken, and the deepest single backjump (in skipped levels).
+	Nogoods, NogoodHits, Backjumps, MaxBackjump int
 }
 
 // Tracer observes run events. Implementations used with sequential runs are
@@ -277,6 +306,17 @@ type RunMetrics struct {
 	// per-generation candidate cache effectiveness.
 	CandidateCacheHits   int `json:"candidate_cache_hits"`
 	CandidateCacheMisses int `json:"candidate_cache_misses"`
+	// NogoodsLearned, NogoodHits, Backjumps and MaxBackjump describe the
+	// conflict-driven search (Options.Nogoods): conflict sets recorded in the
+	// learned-nogood store, candidates pruned because a learned nogood
+	// refuted them, conflict-directed backjumps taken, and the deepest single
+	// backjump in skipped chronological levels. All zero when learning is
+	// off. In portfolio mode they aggregate every worker's learning activity
+	// against the shared store, not just the winner's.
+	NogoodsLearned int `json:"nogoods_learned,omitempty"`
+	NogoodHits     int `json:"nogood_hits,omitempty"`
+	Backjumps      int `json:"backjumps,omitempty"`
+	MaxBackjump    int `json:"max_backjump,omitempty"`
 	// NodeAssigns and NodeBacktracks count per-node search activity, keyed
 	// by constraint-graph node index (empty in portfolio mode, where worker
 	// events are suppressed).
@@ -406,12 +446,25 @@ func (r *Recorder) Trace(ev Event) {
 			r.m.NodeExhaustions = make(map[int]int)
 		}
 		r.m.NodeExhaustions[ev.Node]++
+	case KindNogood:
+		r.m.NogoodsLearned += batch(ev.N)
+	case KindBackjump:
+		r.m.Backjumps += batch(ev.N)
+		if ev.Skipped > r.m.MaxBackjump {
+			r.m.MaxBackjump = ev.Skipped
+		}
 	case KindProgress:
 		r.m.Steps = ev.Steps
 		r.m.Backtracks = ev.Backtracks
 		r.m.CandidatesTried = ev.Candidates
 		r.m.CandidateCacheHits = ev.CacheHits
 		r.m.CandidateCacheMisses = ev.CacheMisses
+		r.m.NogoodsLearned = ev.Nogoods
+		r.m.NogoodHits = ev.NogoodHits
+		r.m.Backjumps = ev.Backjumps
+		if ev.MaxBackjump > r.m.MaxBackjump {
+			r.m.MaxBackjump = ev.MaxBackjump
+		}
 	case KindWorkerWin:
 		r.m.WinnerWorker = ev.N
 		r.m.WinnerStrategy = ev.Strategy
@@ -527,6 +580,16 @@ func (t *WriterTracer) Trace(ev Event) {
 		} else {
 			b = fmt.Appendf(b, "trace %10s  split on %s size=%d depth=%d took=%v\n", at.Round(time.Microsecond), ev.Label, ev.N, ev.Depth, ev.Elapsed.Round(time.Microsecond))
 		}
+	case KindNogood:
+		if !t.Verbose {
+			return
+		}
+		b = fmt.Appendf(b, "trace %10s  nogood node=%d members=%d depth=%d\n", at.Round(time.Microsecond), ev.Node, ev.Members, ev.Depth)
+	case KindBackjump:
+		if !t.Verbose {
+			return
+		}
+		b = fmt.Appendf(b, "trace %10s  backjump to node=%d skipped=%d depth=%d\n", at.Round(time.Microsecond), ev.Node, ev.Skipped, ev.Depth)
 	case KindShard:
 		// Shard-plan events are low-volume (one per component/shard) and name
 		// the run's structure; print them like phase boundaries, always.

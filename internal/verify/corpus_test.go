@@ -1,0 +1,84 @@
+package verify_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diva/internal/relation"
+	"diva/internal/verify"
+	"math/rand/v2"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"regenerate the dense-conflict fuzz seed corpus from DenseConflictInstance")
+
+const denseCorpusDir = "testdata/fuzz/FuzzAnonymizeEndToEnd"
+
+// denseCorpusEntries renders a fixed population of dense-conflict instances
+// as go-fuzz seed corpus files. The RNG is pinned (independently of
+// DIVA_TEST_SEED) so the corpus is a stable artifact: it changes only when
+// the generator itself changes, and then -update-corpus regenerates it.
+func denseCorpusEntries(t *testing.T) map[string]string {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 23))
+	entries := make(map[string]string)
+	for id := 0; id < 8; id++ {
+		inst := verify.DenseConflictInstance(rng, id, 0)
+		var csv bytes.Buffer
+		if err := relation.WriteAnnotatedCSV(&csv, inst.Rel); err != nil {
+			t.Fatalf("%s: WriteAnnotatedCSV: %v", inst, err)
+		}
+		sigma := inst.Sigma.String() + "\n"
+		entries[fmt.Sprintf("dense-conflict-%d", id)] = fmt.Sprintf(
+			"go test fuzz v1\nstring(%s)\nstring(%s)\nint(%d)\nuint64(%d)\n",
+			strconv.Quote(csv.String()), strconv.Quote(sigma), inst.K, 3*id+1)
+	}
+	return entries
+}
+
+// TestDenseConflictFuzzCorpus pins the checked-in dense-conflict seed corpus
+// to its generator: every corpus file must be byte-identical to what
+// DenseConflictInstance produces today, so the fuzz seeds can never silently
+// drift from the instances the differential suite exercises. Run with
+// -update-corpus after changing the generator.
+func TestDenseConflictFuzzCorpus(t *testing.T) {
+	entries := denseCorpusEntries(t)
+	if *updateCorpus {
+		for name, body := range entries {
+			if err := os.WriteFile(filepath.Join(denseCorpusDir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, want := range entries {
+		got, err := os.ReadFile(filepath.Join(denseCorpusDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-corpus to regenerate)", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s: checked-in corpus differs from the generator's output (run with -update-corpus)", name)
+		}
+	}
+	// The corpus must stay inside the fuzz target's micro-scale caps, or the
+	// seeds would all be skipped and seed nothing.
+	for name, body := range entries {
+		lines := strings.SplitN(body, "\n", 4)
+		unwrap := func(line string) string {
+			s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "string("), ")"))
+			if err != nil {
+				t.Fatalf("%s: bad corpus quoting in %q: %v", name, line, err)
+			}
+			return s
+		}
+		csvText, sigmaText := unwrap(lines[1]), unwrap(lines[2])
+		if len(csvText) > 1<<12 || len(sigmaText) > 1<<9 {
+			t.Errorf("%s: exceeds the fuzz target's input caps", name)
+		}
+	}
+}

@@ -179,6 +179,88 @@ func randomInstance(rng *rand.Rand, id int, withCriterion, disjointPools bool) I
 	return inst
 }
 
+// DenseConflictInstance deterministically generates the id-th dense-conflict
+// micro-instance: every constraint targets the same tiny QI neighborhood
+// (two cities, two genders, and their combinations), so the constraints'
+// target pools overlap pairwise and the conflict rate cf(Σ) is high. These
+// are the instances conflict-driven nogood learning exists for — chronological
+// search thrashes between mutually blocking constraints, while a learner
+// backjumps over the assignments that are not actually in the conflict.
+//
+// rows > 0 fixes the relation size (the caller owns staying under oracle or
+// fuzz caps); rows ≤ 0 draws an oracle-scale size in [2k, DefaultMaxRows].
+// Dense instances deliberately violate the disjoint-pool completeness
+// envelope (see RandomInstance), so harnesses must hold them to the
+// one-sided oracle contract — but chronological-vs-CDCL verdict equality is
+// asserted unconditionally: learning must not change what the engine finds.
+func DenseConflictInstance(rng *rand.Rand, id, rows int) Instance {
+	k := 2 + rng.IntN(2)
+	n := rows
+	if n <= 0 {
+		n = 2*k + rng.IntN(DefaultMaxRows-2*k+1)
+	}
+	rel := relation.New(relation.MustSchema(
+		relation.Attribute{Name: "GEN", Role: relation.QI},
+		relation.Attribute{Name: "CTY", Role: relation.QI},
+		relation.Attribute{Name: "DIAG", Role: relation.Sensitive},
+	))
+	cities := instanceCities[:2]
+	for i := 0; i < n; i++ {
+		rel.MustAppendValues(
+			instanceGenders[rng.IntN(2)],
+			cities[rng.IntN(2)],
+			instanceDiags[rng.IntN(2)],
+		)
+	}
+	inst := Instance{Name: fmt.Sprintf("dense-%d/n%d", id, n), Rel: rel, K: k}
+
+	occ := func(c constraint.Constraint) int {
+		b, err := c.Bound(rel)
+		if err != nil {
+			return 0
+		}
+		return b.CountIn(rel)
+	}
+	add := func(c constraint.Constraint) {
+		o := occ(c)
+		if o == 0 {
+			return // absent targets add no conflict pressure
+		}
+		// Binding shapes only: a lower bound forcing a cluster when a ≥ k
+		// pool exists, paired with an upper bound at or just below the
+		// occurrence count, or an upper bound forcing suppression outright.
+		// Tight uppers are what make the pools compete — a cluster accepted
+		// for one constraint preserves rows that push a neighbor over its
+		// bound, which is the thrashing nogood learning exists to cut.
+		switch {
+		case o >= k && rng.IntN(4) > 0:
+			c.Lower = k
+			c.Upper = max(k, o-rng.IntN(2))
+		case rng.IntN(2) == 0:
+			c.Lower, c.Upper = 0, max(0, o-1-rng.IntN(2))
+		default:
+			c.Lower, c.Upper = 0, o
+		}
+		if c.Upper < c.Lower {
+			c.Upper = c.Lower
+		}
+		inst.Sigma = append(inst.Sigma, c)
+	}
+	for _, city := range cities {
+		add(constraint.New("CTY", city, 0, 0))
+	}
+	for _, gen := range instanceGenders[:2] {
+		add(constraint.New("GEN", gen, 0, 0))
+	}
+	for _, city := range cities {
+		add(constraint.NewMulti(
+			[]string{"GEN", "CTY"},
+			[]string{instanceGenders[rng.IntN(2)], city},
+			0, 0))
+	}
+	return inst
+}
+
 // bindingPool returns c's QI-side target pool when c is binding: searchable
 // (targets at least one QI attribute) and either forcing a cluster (λl > 0)
 // or forcing suppression (λr below R's occurrence count). Loose searchable

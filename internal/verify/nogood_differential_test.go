@@ -1,0 +1,239 @@
+package verify_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"diva"
+	"diva/internal/testutil"
+	"diva/internal/verify"
+)
+
+// runDivaMode runs the engine on an instance with nogood learning on or off
+// and classifies the outcome: (result, feasible). The result is non-nil even
+// on an infeasible verdict — the engine stamps RunMetrics (including learning
+// counters) on every outcome — so callers can attribute search effort to
+// failed runs too. Any error other than ErrNoDiverseClustering, and any
+// published output the independent checker rejects, fails the test.
+func runDivaMode(t *testing.T, inst verify.Instance, strat diva.Strategy, seed uint64, shards int, nogoods bool) (*diva.Result, bool) {
+	t.Helper()
+	res, err := diva.AnonymizeContext(context.Background(), inst.Rel, inst.Sigma, diva.Options{
+		K:             inst.K,
+		Strategy:      strat,
+		Seed:          seed,
+		MaxCandidates: 256,
+		LDiversity:    inst.LDiversity,
+		Shards:        shards,
+		Nogoods:       nogoods,
+	})
+	if err != nil {
+		if !errors.Is(err, diva.ErrNoDiverseClustering) {
+			t.Errorf("%s/%s/shards=%d/nogoods=%v: unexpected engine error class: %v",
+				inst, strategyName(strat), shards, nogoods, err)
+		}
+		return res, false
+	}
+	rep := verify.ValidateOutput(inst.Rel, res.Output, inst.Sigma, inst.K, verify.Options{
+		Criterion:  inst.Criterion(),
+		CheckStars: true,
+		Stars:      res.Metrics.SuppressedCells,
+	})
+	if !rep.OK() {
+		t.Errorf("%s/%s/shards=%d/nogoods=%v: published output violates invariants: %v",
+			inst, strategyName(strat), shards, nogoods, rep.Err())
+	}
+	return res, true
+}
+
+// nogoodSuiteInstances builds the paired-run population: random
+// micro-instances inside the completeness envelope (where the chronological
+// verdict provably matches the oracle) plus dense-conflict instances with
+// heavily overlapping target pools (where learning actually fires). The
+// split is (14, 13) so 27 instances × 3 strategies × 3 shard counts = 243
+// paired runs ≥ the 240 the harness promises.
+func nogoodSuiteInstances(t *testing.T) ([]verify.Instance, int) {
+	rng := testutil.Rng(t)
+	var insts []verify.Instance
+	for id := 0; id < 14; id++ {
+		insts = append(insts, verify.RandomInstance(rng, id, false))
+	}
+	nRandom := len(insts)
+	for id := 0; id < 13; id++ {
+		insts = append(insts, verify.DenseConflictInstance(rng, id, 0))
+	}
+	return insts, nRandom
+}
+
+// TestDifferentialNogoods is the CDCL proof wall: on every instance, for
+// every strategy and shard count, the engine runs twice from the same seed —
+// chronological and with nogood learning — and the learning run must (a)
+// reach the same feasibility verdict, (b) suppress no more cells than the
+// chronological run (learned nogoods only prune subtrees already proven to
+// contain no accepted coloring, so the first solution found can only come
+// earlier, never get worse), and (c) stay sound against the brute-force
+// oracle: never an unsound success, never beating the proven optimum, and —
+// inside the completeness envelope — verdict equality with the oracle.
+func TestDifferentialNogoods(t *testing.T) {
+	insts, nRandom := nogoodSuiteInstances(t)
+	rng := testutil.Rng(t)
+	rng.Uint64() // decouple the seed stream from the instance stream
+	pairs, learned := 0, 0
+	for idx, inst := range insts {
+		oracle, err := verify.BruteForce(inst.Rel, inst.Sigma, inst.K, verify.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		envelope := idx < nRandom
+		for _, strat := range allStrategies {
+			for _, shards := range []int{1, 2, 4} {
+				pairs++
+				seed := rng.Uint64()
+				chronRes, chronOK := runDivaMode(t, inst, strat, seed, shards, false)
+				cdclRes, cdclOK := runDivaMode(t, inst, strat, seed, shards, true)
+				if cdclRes != nil {
+					learned += cdclRes.Metrics.NogoodsLearned
+				}
+				if cdclOK != chronOK {
+					t.Errorf("%s/%s/shards=%d: CDCL feasible=%v but chronological feasible=%v — learning changed the verdict",
+						inst, strategyName(strat), shards, cdclOK, chronOK)
+					continue
+				}
+				if cdclOK {
+					if cdclRes.Metrics.SuppressedCells > chronRes.Metrics.SuppressedCells {
+						t.Errorf("%s/%s/shards=%d: CDCL suppressed %d cells, chronological %d — learning degraded ★",
+							inst, strategyName(strat), shards,
+							cdclRes.Metrics.SuppressedCells, chronRes.Metrics.SuppressedCells)
+					}
+					if !oracle.Feasible {
+						t.Errorf("%s/%s/shards=%d: CDCL published output for a proven-infeasible instance",
+							inst, strategyName(strat), shards)
+					} else if cdclRes.Metrics.SuppressedCells < oracle.Stars {
+						t.Errorf("%s/%s/shards=%d: CDCL claims %d stars, below the proven optimum %d",
+							inst, strategyName(strat), shards, cdclRes.Metrics.SuppressedCells, oracle.Stars)
+					}
+				}
+				if envelope && shards == 1 && cdclOK != oracle.Feasible {
+					t.Errorf("%s/%s: CDCL feasible=%v but oracle proved feasible=%v (inside the completeness envelope)",
+						inst, strategyName(strat), cdclOK, oracle.Feasible)
+				}
+			}
+		}
+		if t.Failed() {
+			t.FailNow() // one broken instance is enough signal; don't flood
+		}
+	}
+	if pairs < 240 {
+		t.Fatalf("harness ran %d paired runs, want ≥ 240", pairs)
+	}
+	if learned == 0 {
+		t.Fatal("generator degenerate: no run ever learned a nogood — the CDCL path was not exercised")
+	}
+	t.Logf("%d paired chronological-vs-CDCL runs, %d nogoods learned, verdicts and ★ agree", pairs, learned)
+}
+
+// TestNogoodMetamorphic: learned nogoods are derived from the order the
+// search explores assignments in, but the verdict must not be. Permuting Σ
+// constraint order and row order are instance isomorphisms, so the CDCL
+// verdict must be invariant across them (pinned to the transform-invariant
+// oracle verdict, same contract as TestDifferentialMetamorphic).
+func TestNogoodMetamorphic(t *testing.T) {
+	rng := testutil.Rng(t)
+	checked := 0
+	for id := 0; id < 12; id++ {
+		inst := verify.RandomInstance(rng, id, false)
+		oracle, err := verify.BruteForce(inst.Rel, inst.Sigma, inst.K, verify.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("%s: BruteForce: %v", inst, err)
+		}
+		variants := []verify.Instance{
+			inst,
+			verify.ReorderConstraints(inst, rng.Perm(len(inst.Sigma))),
+			verify.PermuteRows(inst, rng.Perm(inst.Rel.Len())),
+			verify.ReorderConstraints(verify.PermuteRows(inst, rng.Perm(inst.Rel.Len())), rng.Perm(len(inst.Sigma))),
+		}
+		strat := allStrategies[id%len(allStrategies)]
+		seed := rng.Uint64() // same seed across variants: only the transform differs
+		for _, v := range variants {
+			if _, ok := runDivaMode(t, v, strat, seed, 1, true); ok != oracle.Feasible {
+				t.Errorf("%s/%s: CDCL feasible=%v, oracle (transform-invariant) says %v",
+					v, strategyName(strat), ok, oracle.Feasible)
+			}
+			checked++
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	t.Logf("%d transformed CDCL runs, verdicts invariant", checked)
+}
+
+// TestNogoodPortfolioShared runs the engine portfolio with nogood learning:
+// all workers share one store, exchanging conflict proofs across strategies.
+// Run under -race (the Makefile's race target covers this package) it is the
+// harness's data-race check on the shared store; in any mode the winner's
+// output must validate and the aggregated learning counters must be
+// consistent.
+func TestNogoodPortfolioShared(t *testing.T) {
+	rng := testutil.Rng(t)
+	ran := 0
+	for id := 0; id < 8; id++ {
+		inst := verify.DenseConflictInstance(rng, id, 0)
+		res, err := diva.AnonymizeContext(context.Background(), inst.Rel, inst.Sigma, diva.Options{
+			K:             inst.K,
+			Strategy:      diva.MaxFanOut,
+			Seed:          rng.Uint64(),
+			MaxCandidates: 256,
+			Parallel:      6,
+			Nogoods:       true,
+		})
+		if err != nil {
+			if !errors.Is(err, diva.ErrNoDiverseClustering) {
+				t.Fatalf("%s: unexpected engine error class: %v", inst, err)
+			}
+			continue
+		}
+		rep := verify.ValidateOutput(inst.Rel, res.Output, inst.Sigma, inst.K, verify.Options{
+			CheckStars: true,
+			Stars:      res.Metrics.SuppressedCells,
+		})
+		if !rep.OK() {
+			t.Fatalf("%s: portfolio output violates invariants: %v", inst, rep.Err())
+		}
+		if res.Metrics.Backjumps > 0 && res.Metrics.NogoodsLearned == 0 {
+			t.Fatalf("%s: %d backjumps but zero learned nogoods — counter aggregation broken", inst, res.Metrics.Backjumps)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no portfolio run completed successfully")
+	}
+}
+
+// TestDenseConflictGeneratorIsDense pins the generator's reason to exist:
+// its instances must carry a materially higher conflict rate cf(Σ) than the
+// envelope-respecting random generator, and must actually drive learning.
+func TestDenseConflictGeneratorIsDense(t *testing.T) {
+	rng := testutil.Rng(t)
+	var denseSum, denseN float64
+	for id := 0; id < 20; id++ {
+		inst := verify.DenseConflictInstance(rng, id, 0)
+		if len(inst.Sigma) < 2 {
+			continue
+		}
+		cf, err := diva.ConflictRate(inst.Rel, inst.Sigma)
+		if err != nil {
+			t.Fatalf("%s: ConflictRate: %v", inst, err)
+		}
+		denseSum += cf
+		denseN++
+	}
+	if denseN == 0 {
+		t.Fatal("generator produced no multi-constraint instances")
+	}
+	mean := denseSum / denseN
+	if mean < 0.10 {
+		t.Fatalf("dense-conflict generator mean cf(Σ) = %.3f, want ≥ 0.10 — not dense", mean)
+	}
+	t.Logf("mean cf(Σ) over %d dense instances: %.3f", int(denseN), mean)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package diva_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package diva_test
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// pinning is meaningless under its instrumentation overhead.
+const raceEnabled = true
