@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= /tmp/bench_old.txt
 BENCH_NEW ?= /tmp/bench_new.txt
 
-.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke profile-smoke history-smoke nogood-smoke verify fuzz-smoke ci
+.PHONY: all build fmt-check vet test race bench bench-color bench-compare bench-baseline baseline-smoke shard-smoke obs-smoke live-smoke profile-smoke history-smoke nogood-smoke verify fuzz-smoke ci
 
 # Minimum statement coverage for the verification subsystem itself — the
 # checker that everything else leans on must stay tested.
@@ -156,6 +156,58 @@ obs-smoke:
 	[ -s $$tmp/out.csv ] || { echo "obs-smoke: empty anonymized output"; exit 1; }; \
 	echo "obs-smoke: ok (scraped http://$$addr)"
 
+# live-smoke exercises the live-telemetry stack end to end against a held
+# run: the SSE endpoint must replay at least one progress event and the
+# terminal run-end event to a follower that connects after the run finished,
+# the flight-recorder dump must validate with tracecheck -flight, divatop
+# -once must render the finished run, and the canonical "diva run" log
+# record's experiment key must round-trip into the divahist ledger.
+live-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/diva ./cmd/diva; \
+	$(GO) build -o $$tmp/divatop ./cmd/divatop; \
+	$(GO) build -o $$tmp/tracecheck ./cmd/tracecheck; \
+	$(GO) build -o $$tmp/divahist ./cmd/divahist; \
+	$$tmp/diva -in testdata/patients.csv -constraints testdata/patients.sigma \
+		-k 2 -seed 42 -listen 127.0.0.1:0 -hold 30s -log-format json \
+		-history-dir $$tmp/hist >$$tmp/out.csv 2>$$tmp/err.log & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/.*"msg":"ops server listening","addr":"\([^"]*\)".*/\1/p' $$tmp/err.log | head -1); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo "live-smoke: ops server never announced an address"; \
+		cat $$tmp/err.log; exit 1; fi; \
+	curl -sN --max-time 3 "http://$$addr/debug/diva/events?run=all" >$$tmp/sse.txt || true; \
+	grep -q '^event: progress' $$tmp/sse.txt || { \
+		echo "live-smoke: SSE stream carried no progress event:"; \
+		cat $$tmp/sse.txt; exit 1; }; \
+	grep -q '^event: run-end' $$tmp/sse.txt || { \
+		echo "live-smoke: SSE stream carried no terminal run-end event:"; \
+		cat $$tmp/sse.txt; exit 1; }; \
+	curl -sf "http://$$addr/debug/diva/runs/1/events" >$$tmp/flight.json || { \
+		echo "live-smoke: flight-recorder dump unavailable"; exit 1; }; \
+	$$tmp/tracecheck -flight $$tmp/flight.json || { \
+		echo "live-smoke: flight dump failed validation"; exit 1; }; \
+	$$tmp/divatop -addr "$$addr" -once >$$tmp/top.txt || { \
+		echo "live-smoke: divatop -once failed"; exit 1; }; \
+	grep -q 'ok' $$tmp/top.txt || { \
+		echo "live-smoke: divatop never rendered the finished run:"; \
+		cat $$tmp/top.txt; exit 1; }; \
+	key=$$(sed -n 's/.*"msg":"diva run".*"key":"\([^"]*\)".*/\1/p' $$tmp/err.log | head -1); \
+	if [ -z "$$key" ]; then \
+		echo "live-smoke: no canonical run record in the structured log:"; \
+		cat $$tmp/err.log; exit 1; fi; \
+	$$tmp/divahist -dir $$tmp/hist list >$$tmp/list.txt || { \
+		echo "live-smoke: divahist list failed"; exit 1; }; \
+	grep -q "$$key" $$tmp/list.txt || { \
+		echo "live-smoke: canonical key $$key missing from the ledger:"; \
+		cat $$tmp/list.txt; exit 1; }; \
+	echo "live-smoke: ok (streamed http://$$addr, key $$key)"
+
 # profile-smoke exercises the search profiler end to end. The success path
 # runs cmd/diva with -profile against the paper's example and validates the
 # artifact as Chrome trace-event JSON with cmd/tracecheck; the failure path
@@ -296,4 +348,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzAnonymizeEndToEnd' -fuzztime $(FUZZTIME) ./internal/verify/
 	$(GO) test -run '^$$' -fuzz 'FuzzBruteForceOracle' -fuzztime $(FUZZTIME) ./internal/verify/
 
-ci: fmt-check vet build test race verify obs-smoke profile-smoke baseline-smoke shard-smoke history-smoke nogood-smoke
+ci: fmt-check vet build test race verify obs-smoke live-smoke profile-smoke baseline-smoke shard-smoke history-smoke nogood-smoke

@@ -70,7 +70,9 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"diva"
@@ -105,8 +107,9 @@ func main() {
 		metricsDump = flag.Bool("metrics", false, "dump the run's aggregated metrics as JSON on stderr")
 		profileOut  = flag.String("profile", "", "write the run's search profile as Chrome trace-event JSON (Perfetto-loadable) to this file")
 		explain     = flag.Bool("explain", false, "print a search explanation on stderr: culprit constraints, backtrack frontier, and — on failure — whether upper-bound pruning or true candidate exhaustion rejected the last candidates")
-		listen      = flag.String("listen", "", "serve ops endpoints (/metrics, /debug/vars, /debug/pprof, /debug/diva/runs, /debug/diva/profile) on this address (\":0\" = ephemeral port)")
-		hold        = flag.Duration("hold", 0, "keep the process (and its -listen ops server) alive this long after the run (0 = exit when done)")
+		listen      = flag.String("listen", "", "serve ops endpoints (/metrics, /debug/vars, /debug/pprof, /debug/diva/runs, /debug/diva/events, /debug/diva/incidents, /debug/diva/profile) on this address (\":0\" = ephemeral port)")
+		hold        = flag.Duration("hold", 0, "keep the process (and its -listen ops server) alive this long after the run (0 = exit when done; SIGINT/SIGTERM end the hold early)")
+		stallAfter  = flag.Duration("stall-after", obs.DefaultStallThreshold, "with -listen: flag a run stalled (goroutine dump + flight-recorder snapshot at /debug/diva/incidents) when its heartbeat is older than this")
 		logFormat   = flag.String("log-format", "", "structured run logging on stderr: text or json (empty = off)")
 		hierarchies hierarchyFlags
 	)
@@ -125,7 +128,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Every finished run emits one canonical wide-event record through
+		// the structured logger: full config/dataset fingerprints, phase
+		// walls, search counters, outcome.
+		obs.SetCanonicalLogger(logger)
 	}
+	// SIGINT/SIGTERM cancel the run and end -hold early so the process (and
+	// its ops server) exits cleanly instead of abandoning the listener.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *listen != "" {
 		// Per-run profiles are cheap enough to keep for every run the ops
 		// server can serve (/debug/diva/profile/{runID}).
@@ -134,7 +145,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		watchdog := obs.NewWatchdog(obs.Runs, obs.IncidentLog, *stallAfter, 0)
+		watchdog.Start()
+		cleanup = func() {
+			watchdog.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}
+		defer runCleanup()
 		if logger != nil {
 			logger.Info("ops server listening", slog.String("addr", srv.Addr().String()))
 		} else {
@@ -213,7 +232,7 @@ func main() {
 	}
 	opts.Tracer = trace.Tee(tracers...)
 
-	ctx := context.Background()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -335,11 +354,28 @@ func main() {
 		} else if *listen != "" {
 			fmt.Fprintf(os.Stderr, "diva: holding for %s (ops server stays up)\n", *hold)
 		}
-		time.Sleep(*hold)
+		select {
+		case <-time.After(*hold):
+		case <-sigCtx.Done():
+			fmt.Fprintln(os.Stderr, "diva: interrupted, shutting down")
+		}
+	}
+}
+
+// cleanup, when set, releases the ops server (graceful Shutdown) and stops
+// the watchdog. runCleanup runs it at most once; fatal runs it too, so error
+// exits don't abandon the listener.
+var cleanup func()
+
+func runCleanup() {
+	if cleanup != nil {
+		cleanup()
+		cleanup = nil
 	}
 }
 
 func fatal(err error) {
+	runCleanup()
 	fmt.Fprintln(os.Stderr, "diva:", err)
 	os.Exit(1)
 }

@@ -11,15 +11,25 @@
 // 0 means the file is loadable; 1 names the first violation. It exists so CI
 // can assert profile exports without a browser.
 //
+// With -flight the argument is instead a flight-recorder dump (the JSON the
+// ops server serves at /debug/diva/runs/{id}/events): every event kind must
+// parse, sequence numbers must be consecutive and ascending, offsets
+// monotone non-decreasing, and the seen total must match the newest retained
+// entry.
+//
 // Usage:
 //
 //	tracecheck trace.json
+//	tracecheck -flight events.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+
+	"diva/internal/trace"
 )
 
 type traceDoc struct {
@@ -38,15 +48,87 @@ type traceEvent struct {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+	flight := flag.Bool("flight", false, "validate a flight-recorder dump (/debug/diva/runs/{id}/events JSON) instead of a Chrome trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-flight] file.json")
 		os.Exit(2)
 	}
-	if err := check(os.Args[1]); err != nil {
+	checker := check
+	if *flight {
+		checker = checkFlight
+	}
+	if err := checker(flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
 	fmt.Println("tracecheck: ok")
+}
+
+// flightDoc mirrors the ops server's /debug/diva/runs/{id}/events response.
+// FlightEntry's UnmarshalJSON rejects unknown event kinds, so decoding alone
+// validates the kind vocabulary.
+type flightDoc struct {
+	Run    uint64              `json:"run"`
+	Seen   uint64              `json:"seen"`
+	Events []trace.FlightEntry `json:"events"`
+}
+
+// checkFlight validates a flight-recorder dump: parseable kinds, consecutive
+// ascending sequence numbers, monotone offsets, and a seen total matching
+// the newest retained entry.
+func checkFlight(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc flightDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Run == 0 {
+		return fmt.Errorf("%s: missing run ID", path)
+	}
+	if len(doc.Events) == 0 {
+		return fmt.Errorf("%s: events is empty", path)
+	}
+	kinds := map[string]int{}
+	for i, e := range doc.Events {
+		if e.Seq == 0 {
+			return fmt.Errorf("%s: event %d has no sequence number", path, i)
+		}
+		if i > 0 {
+			if e.Seq != doc.Events[i-1].Seq+1 {
+				return fmt.Errorf("%s: event %d: seq %d follows %d (ring tail must be gap-free)",
+					path, i, e.Seq, doc.Events[i-1].Seq)
+			}
+			if e.At < doc.Events[i-1].At {
+				return fmt.Errorf("%s: event %d: offset %v precedes %v", path, i, e.At, doc.Events[i-1].At)
+			}
+		}
+		if e.At < 0 {
+			return fmt.Errorf("%s: event %d has a negative offset", path, i)
+		}
+		kinds[e.Event.Kind.String()]++
+	}
+	if last := doc.Events[len(doc.Events)-1].Seq; doc.Seen != last {
+		return fmt.Errorf("%s: seen %d does not match newest entry seq %d", path, doc.Seen, last)
+	}
+	fmt.Printf("tracecheck: %s: run %d, %d events retained of %d seen (",
+		path, doc.Run, len(doc.Events), doc.Seen)
+	first := true
+	for k := trace.KindPhaseStart; k <= trace.KindRunEnd; k++ {
+		if kinds[k.String()] == 0 {
+			continue
+		}
+		if !first {
+			fmt.Print(", ")
+		}
+		first = false
+		fmt.Printf("%d %s", kinds[k.String()], k)
+	}
+	fmt.Println(")")
+	return nil
 }
 
 // shardArgs and splitArgs are the argument sets the profile exporter stamps

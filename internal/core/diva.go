@@ -243,7 +243,7 @@ func Anonymize(ctx context.Context, rel *relation.Relation, sigma constraint.Set
 			prof.Finish(RunOutcome(err), errText)
 			obs.Profiles.Add(prof.Profile())
 		}
-		depositHistory(rel, sigma, opts, m, err)
+		depositHistory(rel, sigma, opts, m, err, run)
 		return res, err
 	}
 	// phase runs one stage under its trace events and pprof label. It

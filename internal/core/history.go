@@ -6,6 +6,7 @@ import (
 
 	"diva/internal/constraint"
 	"diva/internal/history"
+	"diva/internal/obs"
 	"diva/internal/relation"
 	"diva/internal/trace"
 )
@@ -34,21 +35,21 @@ func historyConfig(sigma constraint.Set, opts Options) history.Config {
 	return c
 }
 
-// depositHistory appends the finished run to the history ledger when one is
-// configured (Options.HistoryDir, falling back to DIVA_HISTORY_DIR). It is
-// called on every outcome and never fails the run: ledger errors are logged
-// and counted on the Ledger, nothing more.
-func depositHistory(rel *relation.Relation, sigma constraint.Set, opts Options, m *trace.RunMetrics, runErr error) {
+// depositHistory builds the finished run's record, emits the canonical
+// wide-event log line when a canonical logger is installed (obs.LogRun), and
+// appends the record to the history ledger when one is configured
+// (Options.HistoryDir, falling back to DIVA_HISTORY_DIR). On error and
+// infeasible outcomes the record carries the run's flight-recorder tail, so
+// the trail into the failure outlives the process. It is called on every
+// outcome and never fails the run: ledger errors are logged and counted on
+// the Ledger, nothing more.
+func depositHistory(rel *relation.Relation, sigma constraint.Set, opts Options, m *trace.RunMetrics, runErr error, run *obs.Run) {
 	dir := opts.HistoryDir
 	if dir == "" {
 		dir = os.Getenv(history.EnvDir)
 	}
-	if dir == "" {
-		return
-	}
-	l, err := history.Shared(dir)
-	if err != nil {
-		slog.Warn("diva: history ledger unavailable", "dir", dir, "err", err)
+	logging := obs.CanonicalLogger() != nil
+	if dir == "" && !logging {
 		return
 	}
 	rec := &history.Record{
@@ -62,6 +63,20 @@ func depositHistory(rel *relation.Relation, sigma constraint.Set, opts Options, 
 	}
 	if runErr != nil {
 		rec.Error = runErr.Error()
+		if run != nil && (rec.Outcome == "error" || rec.Outcome == "infeasible") {
+			rec.Events = run.Flight().Snapshot()
+		}
+	}
+	if logging {
+		obs.LogRun(rec)
+	}
+	if dir == "" {
+		return
+	}
+	l, err := history.Shared(dir)
+	if err != nil {
+		slog.Warn("diva: history ledger unavailable", "dir", dir, "err", err)
+		return
 	}
 	if err := l.Append(rec); err != nil {
 		slog.Warn("diva: history append failed", "dir", dir, "err", err)

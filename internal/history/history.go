@@ -149,6 +149,11 @@ type Record struct {
 	// Metrics is the run's aggregated metrics: per-phase wall times, search
 	// effort, suppression/accuracy. Non-nil for engine-deposited records.
 	Metrics *trace.RunMetrics `json:"metrics,omitempty"`
+	// Events, set on error and infeasible outcomes, is the run's
+	// flight-recorder tail — the recent trace events leading into the
+	// failure, ending with the synthetic run-end event — so a post-mortem
+	// survives the process that hit the failure.
+	Events []trace.FlightEntry `json:"events,omitempty"`
 }
 
 // Key returns the record's cross-run comparison key: config hash "/"

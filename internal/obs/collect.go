@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"time"
+
 	"diva/internal/trace"
 )
 
@@ -51,12 +53,26 @@ var (
 		"Conflict-directed backjumps taken by learning searches across runs.")
 	mMaxBackjump = Metrics.NewHistogram("diva_max_backjump_levels",
 		"Deepest single backjump (levels skipped) per learning run.", ExpBuckets(1, 2, 12))
+	mStalledRuns = Metrics.NewCounter("diva_stalled_runs_total",
+		"Runs flagged stalled by the watchdog (heartbeat older than the threshold).")
 )
 
 func init() {
 	Metrics.NewGaugeFunc("diva_runs_live",
 		"Engine runs currently in flight.", func() float64 {
 			return float64(Runs.LiveCount())
+		})
+	Metrics.NewGaugeFunc("diva_runs_inflight",
+		"Engine runs currently in flight (alias of diva_runs_live; dashboards standardize on this name).", func() float64 {
+			return float64(Runs.LiveCount())
+		})
+	Metrics.NewGaugeFunc("diva_run_heartbeat_age_seconds",
+		"Staleness of the most-stale live run's last trace event; 0 with no live runs.", func() float64 {
+			return Runs.MaxHeartbeatAge(time.Now()).Seconds()
+		})
+	Metrics.NewCounterFunc("diva_events_dropped_total",
+		"Live-stream events dropped because a subscriber's buffer was full.", func() int64 {
+			return Runs.Events().Dropped()
 		})
 	trace.RegisterSink(collect)
 }

@@ -96,7 +96,7 @@ func TestLiveRunVisibleWhileInFlight(t *testing.T) {
 	}
 
 	// The same run must be visible over HTTP.
-	srv := httptest.NewServer(obs.NewMux(obs.Metrics, obs.Runs, obs.Profiles))
+	srv := httptest.NewServer(obs.NewMux(obs.Metrics, obs.Runs, obs.Profiles, obs.IncidentLog))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + "/debug/diva/runs")
 	if err != nil {

@@ -28,7 +28,7 @@ func TestProfileEndpoint(t *testing.T) {
 
 	ring := profile.NewRing(4)
 	ring.Add(prof.Profile())
-	srv := httptest.NewServer(NewMux(NewRegistry(), NewRunRegistry(4), ring))
+	srv := httptest.NewServer(NewMux(NewRegistry(), NewRunRegistry(4), ring, NewIncidentStore(4)))
 	defer srv.Close()
 
 	code, body, hdr := get(t, srv, "/debug/diva/profile/")

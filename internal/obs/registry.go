@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diva/internal/trace"
@@ -34,17 +35,27 @@ type RunInfo struct {
 	Worker int `json:"worker"`
 	// Heartbeats counts KindProgress events received, across all workers.
 	Heartbeats int64 `json:"heartbeats"`
+	// Stalled is set while the watchdog considers the run stalled (heartbeat
+	// older than the threshold); any fresh trace event clears it.
+	Stalled bool `json:"stalled,omitempty"`
 	// Err is the run's error string, set on completed error runs.
 	Err string `json:"error,omitempty"`
 	// Metrics is the completed run's aggregated RunMetrics (nil while
 	// running).
 	Metrics *trace.RunMetrics `json:"metrics,omitempty"`
+
+	// flight and flightSeen carry a completed run's flight-recorder snapshot
+	// through the registry's done ring. Unexported so /debug/diva/runs stays
+	// compact; /debug/diva/runs/{id}/events serves them.
+	flight     []trace.FlightEntry
+	flightSeen uint64
 }
 
 // RunRegistry tracks every in-flight engine run plus a ring of the last K
 // completed ones. It is goroutine-safe: runs register, heartbeat and finish
 // concurrently. Runs is the process-wide default used by the engine.
 type RunRegistry struct {
+	bus     *Broadcaster
 	mu      sync.Mutex
 	nextID  uint64
 	live    map[uint64]*Run
@@ -63,8 +74,12 @@ func NewRunRegistry(keep int) *RunRegistry {
 	if keep <= 0 {
 		keep = DefaultCompletedRuns
 	}
-	return &RunRegistry{live: make(map[uint64]*Run), keep: keep}
+	return &RunRegistry{bus: NewBroadcaster(), live: make(map[uint64]*Run), keep: keep}
 }
+
+// Events returns the registry's event broadcaster: every trace event any
+// registered run receives is published there, keyed by run ID.
+func (r *RunRegistry) Events() *Broadcaster { return r.bus }
 
 // Begin registers a new live run and returns its handle. The handle is a
 // trace.Tracer: tee it into the run's event stream so phase changes and
@@ -74,7 +89,15 @@ func (r *RunRegistry) Begin() *Run {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
-	run := &Run{reg: r, id: r.nextID, start: time.Now(), worker: -1}
+	now := time.Now()
+	run := &Run{
+		reg:    r,
+		id:     r.nextID,
+		start:  now,
+		worker: -1,
+		flight: trace.NewFlightRecorder(trace.DefaultFlightCapacity),
+	}
+	run.lastEvent.Store(now.UnixNano())
 	r.live[run.id] = run
 	return run
 }
@@ -144,9 +167,17 @@ func (r *RunRegistry) finish(info RunInfo) {
 // heartbeats update the search liveness fields. All methods are
 // goroutine-safe (portfolio workers heartbeat concurrently).
 type Run struct {
-	reg   *RunRegistry
-	id    uint64
-	start time.Time
+	reg    *RunRegistry
+	id     uint64
+	start  time.Time
+	flight *trace.FlightRecorder
+
+	// lastEvent is the wall-clock UnixNano of the run's most recent trace
+	// event — the watchdog's staleness signal. stalled latches once the
+	// watchdog flags the run and clears on the next event, so one stall
+	// yields one incident.
+	lastEvent atomic.Int64
+	stalled   atomic.Bool
 
 	mu         sync.Mutex
 	phase      trace.Phase
@@ -160,8 +191,14 @@ type Run struct {
 // ID returns the registry-assigned run identifier.
 func (run *Run) ID() uint64 { return run.id }
 
-// Trace implements trace.Tracer.
+// Trace implements trace.Tracer. Every event — not just phase changes and
+// heartbeats — lands in the run's flight recorder and is published to the
+// registry's broadcaster, so the run is observable even when the caller set
+// no tracer of its own.
 func (run *Run) Trace(ev trace.Event) {
+	entry := run.flight.Record(ev)
+	run.lastEvent.Store(time.Now().UnixNano())
+	run.stalled.Store(false)
 	switch ev.Kind {
 	case trace.KindPhaseStart:
 		run.mu.Lock()
@@ -178,6 +215,15 @@ func (run *Run) Trace(ev trace.Event) {
 		run.worker = ev.Worker
 		run.mu.Unlock()
 	}
+	run.reg.bus.Publish(RunEvent{RunID: run.id, Entry: entry})
+}
+
+// Flight returns the run's flight recorder.
+func (run *Run) Flight() *trace.FlightRecorder { return run.flight }
+
+// HeartbeatAge returns how long ago the run's last trace event arrived.
+func (run *Run) HeartbeatAge(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, run.lastEvent.Load()))
 }
 
 // Info returns the run's current externally visible state.
@@ -194,6 +240,7 @@ func (run *Run) Info() RunInfo {
 		Depth:      run.depth,
 		Worker:     run.worker,
 		Heartbeats: run.heartbeats,
+		Stalled:    run.stalled.Load(),
 	}
 }
 
@@ -227,9 +274,105 @@ func (run *Run) End(m *trace.RunMetrics, err error) {
 			info.Steps = m.Steps
 		}
 	}
+	// Seal the flight recorder with a synthetic terminal event so dumps and
+	// SSE subscribers see how — and when — the run ended.
+	entry := run.flight.Record(trace.Event{
+		Kind:    trace.KindRunEnd,
+		Label:   info.State,
+		Elapsed: info.Elapsed,
+		Steps:   info.Steps,
+		Depth:   info.Depth,
+	})
+	info.flight = run.flight.Snapshot()
+	info.flightSeen = run.flight.Seen()
 	reg := run.reg
 	run.mu.Unlock()
 	reg.finish(info)
+	reg.bus.Publish(RunEvent{RunID: run.id, Entry: entry})
+}
+
+// RunEvents returns the flight-recorder snapshot for run id — live or
+// retained-completed — plus the total events the run has seen (evicted
+// included). ok is false when the registry doesn't know the run.
+func (r *RunRegistry) RunEvents(id uint64) (events []trace.FlightEntry, seen uint64, ok bool) {
+	r.mu.Lock()
+	if run, live := r.live[id]; live {
+		r.mu.Unlock()
+		return run.flight.Snapshot(), run.flight.Seen(), true
+	}
+	defer r.mu.Unlock()
+	for i := len(r.done) - 1; i >= 0; i-- {
+		if r.done[i].ID == id {
+			return r.done[i].flight, r.done[i].flightSeen, true
+		}
+	}
+	return nil, 0, false
+}
+
+// ReplayEvents returns the recorded history for runID (0 = every run the
+// registry knows), ordered by run ID then sequence — what the SSE endpoint
+// writes to a fresh subscriber before streaming live.
+func (r *RunRegistry) ReplayEvents(runID uint64) []RunEvent {
+	r.mu.Lock()
+	type source struct {
+		id      uint64
+		run     *Run // live; nil means use entries
+		entries []trace.FlightEntry
+	}
+	sources := make([]source, 0, len(r.done)+len(r.live))
+	for _, info := range r.done {
+		if runID == 0 || info.ID == runID {
+			sources = append(sources, source{id: info.ID, entries: info.flight})
+		}
+	}
+	for id, run := range r.live {
+		if runID == 0 || id == runID {
+			sources = append(sources, source{id: id, run: run})
+		}
+	}
+	r.mu.Unlock()
+	// Snapshot live rings outside the registry lock; order by run ID.
+	for i := range sources {
+		if sources[i].run != nil {
+			sources[i].entries = sources[i].run.flight.Snapshot()
+		}
+	}
+	for i := 1; i < len(sources); i++ {
+		for j := i; j > 0 && sources[j].id < sources[j-1].id; j-- {
+			sources[j], sources[j-1] = sources[j-1], sources[j]
+		}
+	}
+	var out []RunEvent
+	for _, s := range sources {
+		for _, e := range s.entries {
+			out = append(out, RunEvent{RunID: s.id, Entry: e})
+		}
+	}
+	return out
+}
+
+// liveRuns returns the current live-run handles (any order).
+func (r *RunRegistry) liveRuns() []*Run {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	runs := make([]*Run, 0, len(r.live))
+	for _, run := range r.live {
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// MaxHeartbeatAge returns the staleness of the most-stale live run's last
+// trace event, or 0 with no live runs — the diva_run_heartbeat_age_seconds
+// gauge.
+func (r *RunRegistry) MaxHeartbeatAge(now time.Time) time.Duration {
+	var max time.Duration
+	for _, run := range r.liveRuns() {
+		if age := run.HeartbeatAge(now); age > max {
+			max = age
+		}
+	}
+	return max
 }
 
 // outcome classifies a finished run for the registry and the runs-total

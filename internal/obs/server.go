@@ -1,13 +1,16 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"diva/internal/profile"
+	"diva/internal/trace"
 )
 
 // NewMux returns an http.ServeMux mounting the ops endpoints:
@@ -16,6 +19,11 @@ import (
 //	/debug/vars               expvar (the trace package's process-wide "diva." totals)
 //	/debug/pprof/*            runtime profiles (phases carry a "diva_phase" label)
 //	/debug/diva/runs          JSON {"live": [...], "completed": [...]} from runs
+//	/debug/diva/runs/{id}/events  the run's flight-recorder dump (JSON; live
+//	                          or retained-completed runs)
+//	/debug/diva/events        SSE stream of live trace events (?run={id|all},
+//	                          default all; replays recorded history on connect)
+//	/debug/diva/incidents     stall incidents captured by the watchdog (JSON)
 //	/debug/diva/profile/{id}  per-run search profile from profiles (see
 //	                          ?format=json|trace|folded|summary|explain); the
 //	                          bare path lists retained run IDs
@@ -25,9 +33,9 @@ import (
 //	/debug/diva/history/compare  noise-floor regression report between two
 //	                          records (?a=…&b=…, default prev vs latest)
 //
-// Pass Metrics, Runs and Profiles (the process-wide defaults) for a standard
-// ops server, or dedicated instances in tests.
-func NewMux(reg *Registry, runs *RunRegistry, profiles *profile.Ring) *http.ServeMux {
+// Pass Metrics, Runs, Profiles and IncidentLog (the process-wide defaults)
+// for a standard ops server, or dedicated instances in tests.
+func NewMux(reg *Registry, runs *RunRegistry, profiles *profile.Ring, incidents *IncidentStore) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -43,6 +51,33 @@ func NewMux(reg *Registry, runs *RunRegistry, profiles *profile.Ring) *http.Serv
 			Completed []RunInfo `json:"completed"`
 		}{Live: live, Completed: completed})
 	})
+	mux.HandleFunc("/debug/diva/runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "run ID must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		events, seen, ok := runs.RunEvents(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if events == nil {
+			events = []trace.FlightEntry{}
+		}
+		writeJSON(w, struct {
+			Run    uint64              `json:"run"`
+			Seen   uint64              `json:"seen"`
+			Events []trace.FlightEntry `json:"events"`
+		}{Run: id, Seen: seen, Events: events})
+	})
+	mux.HandleFunc("/debug/diva/events", eventsHandler(runs))
+	mux.HandleFunc("/debug/diva/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Total     int64      `json:"total"`
+			Incidents []Incident `json:"incidents"`
+		}{Total: incidents.Total(), Incidents: incidents.Snapshot()})
+	})
 	mux.HandleFunc("/debug/diva/profile/", profileHandler(profiles))
 	mux.HandleFunc("/debug/diva/history", historyHandler())
 	mux.HandleFunc("/debug/diva/history/compare", historyCompareHandler())
@@ -52,7 +87,7 @@ func NewMux(reg *Registry, runs *RunRegistry, profiles *profile.Ring) *http.Serv
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n/debug/diva/profile/\n/debug/diva/history\n/debug/diva/history/compare\n"))
+		w.Write([]byte("diva ops server\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/diva/runs\n/debug/diva/runs/{id}/events\n/debug/diva/events\n/debug/diva/incidents\n/debug/diva/profile/\n/debug/diva/history\n/debug/diva/history/compare\n"))
 	})
 	return mux
 }
@@ -67,25 +102,43 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // Server is a running ops HTTP server.
 type Server struct {
-	srv *http.Server
-	l   net.Listener
+	srv  *http.Server
+	l    net.Listener
+	runs *RunRegistry
 }
 
 // Addr returns the server's bound address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.l.Addr() }
 
-// Close shuts the listener down and stops serving.
+// Close shuts the listener down and stops serving immediately, abandoning
+// in-flight requests. Prefer Shutdown for a clean exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes, in-flight
+// requests finish, and active SSE streams are force-disconnected (they would
+// otherwise hold Shutdown open forever). It returns once every handler has
+// exited or ctx is done.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// http.Server.Shutdown waits for active handlers; kick the open event
+	// streams first so their handlers return.
+	s.runs.Events().DropAll()
+	return s.srv.Shutdown(ctx)
+}
 
 // Serve starts an ops server for the process-wide Metrics and Runs on addr
 // (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port) and serves in a
-// background goroutine until Close.
+// background goroutine until Close or Shutdown.
 func Serve(addr string) (*Server, error) {
+	return serve(addr, Metrics, Runs, Profiles, IncidentLog)
+}
+
+// serve is Serve over explicit dependencies, for tests.
+func serve(addr string, reg *Registry, runs *RunRegistry, profiles *profile.Ring, incidents *IncidentStore) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(Metrics, Runs, Profiles)}
+	srv := &http.Server{Handler: NewMux(reg, runs, profiles, incidents)}
 	go srv.Serve(l)
-	return &Server{srv: srv, l: l}, nil
+	return &Server{srv: srv, l: l, runs: runs}, nil
 }

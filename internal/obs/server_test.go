@@ -46,7 +46,7 @@ func TestMuxEndpoints(t *testing.T) {
 	live.Trace(trace.Event{Kind: trace.KindProgress, Steps: 77, Depth: 5, Worker: -1})
 	runs.Begin().End(&trace.RunMetrics{Total: time.Millisecond}, nil)
 
-	srv := httptest.NewServer(NewMux(Metrics, runs, profile.NewRing(4)))
+	srv := httptest.NewServer(NewMux(Metrics, runs, profile.NewRing(4), NewIncidentStore(4)))
 	defer srv.Close()
 	defer live.End(nil, nil)
 

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diva/internal/trace"
+)
+
+// Watchdog defaults. The threshold must comfortably exceed the engine's
+// heartbeat cadence (a KindProgress every few thousand search steps, i.e.
+// milliseconds apart on any live search), so staleness beyond it means the
+// search is inside one monstrous candidate enumeration or genuinely wedged.
+const (
+	DefaultStallThreshold = 30 * time.Second
+	DefaultWatchInterval  = time.Second
+	DefaultIncidentCap    = 16
+)
+
+// Incident is one captured stall: the run's identity and liveness fields at
+// detection time, its flight-recorder tail, and a full goroutine dump — what
+// a post-mortem needs when the process is later killed.
+type Incident struct {
+	// RunID is the stalled run's registry ID.
+	RunID uint64 `json:"run_id"`
+	// At is the detection time.
+	At time.Time `json:"at"`
+	// Age is how stale the run's last trace event was at detection.
+	Age time.Duration `json:"heartbeat_age_ns"`
+	// Phase, Steps and Depth mirror the run's state at detection.
+	Phase string `json:"phase,omitempty"`
+	Steps int    `json:"steps"`
+	Depth int    `json:"depth"`
+	// Events is the run's flight-recorder snapshot — the trail leading into
+	// the stall.
+	Events []trace.FlightEntry `json:"events"`
+	// Goroutines is the process's goroutine profile (debug=1 text form).
+	Goroutines string `json:"goroutines"`
+}
+
+// IncidentStore is a bounded ring of captured incidents, served at
+// /debug/diva/incidents. Bounded so a flapping run can't grow process memory
+// without limit; Total keeps counting past evictions.
+type IncidentStore struct {
+	mu    sync.Mutex
+	cap   int
+	total int64
+	ring  []Incident // oldest first
+}
+
+// IncidentLog is the process-wide incident store the default watchdog and
+// ops server use.
+var IncidentLog = NewIncidentStore(DefaultIncidentCap)
+
+// NewIncidentStore returns a store retaining the last cap incidents (cap ≤ 0
+// selects DefaultIncidentCap).
+func NewIncidentStore(cap int) *IncidentStore {
+	if cap <= 0 {
+		cap = DefaultIncidentCap
+	}
+	return &IncidentStore{cap: cap}
+}
+
+// Add appends an incident, evicting the oldest beyond the store's capacity.
+func (s *IncidentStore) Add(inc Incident) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	s.ring = append(s.ring, inc)
+	if drop := len(s.ring) - s.cap; drop > 0 {
+		s.ring = append(s.ring[:0], s.ring[drop:]...)
+	}
+}
+
+// Snapshot returns the retained incidents, newest first.
+func (s *IncidentStore) Snapshot() []Incident {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Incident, len(s.ring))
+	for i := range s.ring {
+		out[len(s.ring)-1-i] = s.ring[i]
+	}
+	return out
+}
+
+// Total returns how many incidents have ever been recorded (evicted
+// included).
+func (s *IncidentStore) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Cap returns the store's retention capacity.
+func (s *IncidentStore) Cap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}
+
+// Watchdog periodically sweeps a registry's live runs and flags any whose
+// last trace event is older than the threshold: the run's Stalled bit is
+// set (visible in /debug/diva/runs), an Incident with a goroutine dump and
+// the run's flight-recorder tail is captured, and — on the process-wide
+// registry — diva_stalled_runs_total increments. A fresh event clears the
+// run's Stalled bit, re-arming the watchdog for that run.
+type Watchdog struct {
+	reg       *RunRegistry
+	store     *IncidentStore
+	threshold time.Duration
+	interval  time.Duration
+	flagged   atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewWatchdog returns a watchdog over reg writing incidents to store.
+// threshold ≤ 0 selects DefaultStallThreshold; interval ≤ 0 selects
+// DefaultWatchInterval. Call Start to begin sweeping, Stop to end.
+func NewWatchdog(reg *RunRegistry, store *IncidentStore, threshold, interval time.Duration) *Watchdog {
+	if threshold <= 0 {
+		threshold = DefaultStallThreshold
+	}
+	if interval <= 0 {
+		interval = DefaultWatchInterval
+	}
+	if store == nil {
+		store = IncidentLog
+	}
+	return &Watchdog{
+		reg:       reg,
+		store:     store,
+		threshold: threshold,
+		interval:  interval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Threshold returns the staleness bound beyond which a run is stalled.
+func (w *Watchdog) Threshold() time.Duration { return w.threshold }
+
+// Flagged returns how many stalls this watchdog has flagged.
+func (w *Watchdog) Flagged() int64 { return w.flagged.Load() }
+
+// Start launches the sweep loop in a background goroutine.
+func (w *Watchdog) Start() {
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				w.Sweep(now)
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the sweep loop and waits for it to exit. Idempotent; safe to
+// call on a watchdog that was never started only after Start will not be
+// called again.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Sweep examines every live run once and returns how many it newly flagged.
+// Exported so tests (and callers without a ticker) can drive detection
+// deterministically.
+func (w *Watchdog) Sweep(now time.Time) int {
+	flagged := 0
+	for _, run := range w.reg.liveRuns() {
+		age := run.HeartbeatAge(now)
+		if age < w.threshold {
+			continue
+		}
+		// Latch the stall bit; a concurrent fresh event wins the race by
+		// clearing it right back, which is the correct outcome — the run
+		// just proved it is alive.
+		if run.stalled.Swap(true) {
+			continue // already flagged for this silence
+		}
+		info := run.Info()
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		w.store.Add(Incident{
+			RunID:      run.ID(),
+			At:         now,
+			Age:        age,
+			Phase:      info.Phase,
+			Steps:      info.Steps,
+			Depth:      info.Depth,
+			Events:     run.Flight().Snapshot(),
+			Goroutines: buf.String(),
+		})
+		w.flagged.Add(1)
+		if w.reg == Runs {
+			mStalledRuns.Inc()
+		}
+		flagged++
+	}
+	return flagged
+}

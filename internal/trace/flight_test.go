@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRetainsTail(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Trace(Event{Kind: KindAssign, Node: i})
+	}
+	if f.Seen() != 10 {
+		t.Fatalf("Seen = %d, want 10", f.Seen())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length = %d, want ring capacity 4", len(snap))
+	}
+	for i, e := range snap {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("entry %d Seq = %d, want %d (oldest-first tail)", i, e.Seq, wantSeq)
+		}
+		if e.Event.Node != int(wantSeq)-1 {
+			t.Fatalf("entry %d Node = %d, want %d", i, e.Event.Node, wantSeq-1)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Trace(Event{Kind: KindPhaseStart, Phase: PhaseBind})
+	f.Trace(Event{Kind: KindPhaseEnd, Phase: PhaseBind, Elapsed: time.Millisecond})
+	snap := f.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot length = %d, want 2", len(snap))
+	}
+	if snap[0].Seq != 1 || snap[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d; want 1, 2", snap[0].Seq, snap[1].Seq)
+	}
+	if snap[0].At > snap[1].At {
+		t.Fatalf("offsets not monotone: %v then %v", snap[0].At, snap[1].At)
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	f := NewFlightRecorder(0)
+	for i := 0; i < DefaultFlightCapacity+5; i++ {
+		f.Trace(Event{Kind: KindBacktrack, Node: i})
+	}
+	if got := len(f.Snapshot()); got != DefaultFlightCapacity {
+		t.Fatalf("retained %d events, want DefaultFlightCapacity %d", got, DefaultFlightCapacity)
+	}
+}
+
+// TestFlightRecorderConcurrent drives the recorder from several goroutines
+// (portfolio heartbeats are concurrent) and asserts the snapshot holds a
+// consistent, gap-free tail. Run under -race via `make race`.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Trace(Event{Kind: KindProgress, Worker: w, Steps: i})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			f.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := f.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("retained %d events, want 64", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("gap in tail: seq %d follows %d", snap[i].Seq, snap[i-1].Seq)
+		}
+	}
+	if f.Seen() != 2000 {
+		t.Fatalf("Seen = %d, want 2000", f.Seen())
+	}
+}
+
+// TestFlightEntryJSONRoundTrip pins the wire format: kind travels as its
+// String form, and every populated field survives marshal → unmarshal (the
+// history ledger stores snapshots on failed runs).
+func TestFlightEntryJSONRoundTrip(t *testing.T) {
+	entries := []FlightEntry{
+		{Seq: 1, At: time.Millisecond, Event: Event{Kind: KindPhaseStart, Phase: PhaseColor}},
+		{Seq: 2, At: 2 * time.Millisecond, Event: Event{
+			Kind: KindExhausted, Node: 3, N: 4, Depth: 2,
+			Enumerated: 7, RejectedOverlap: 1, RejectedUpper: 2, Blocker: 5,
+		}},
+		{Seq: 3, At: 3 * time.Millisecond, Event: Event{
+			Kind: KindProgress, Steps: 100, Backtracks: 9, Candidates: 42,
+			CacheHits: 5, CacheMisses: 6, Depth: 8, Worker: -1,
+			Nogoods: 2, NogoodHits: 3, Backjumps: 1, MaxBackjump: 4,
+		}},
+		{Seq: 4, At: 4 * time.Millisecond, Event: Event{Kind: KindNogood, Node: 2, Members: 3, Depth: 5}},
+		{Seq: 5, At: 5 * time.Millisecond, Event: Event{Kind: KindRunEnd, Label: "ok", Elapsed: time.Second}},
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []FlightEntry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round-trip length %d, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i] != entries[i] {
+			t.Fatalf("entry %d round-trip mismatch:\n got %+v\nwant %+v", i, back[i], entries[i])
+		}
+	}
+}
+
+func TestFlightEntryJSONUnknownKind(t *testing.T) {
+	var e FlightEntry
+	if err := json.Unmarshal([]byte(`{"seq":1,"kind":"no-such-kind"}`), &e); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestParseEventKind(t *testing.T) {
+	for k := KindPhaseStart; k <= KindRunEnd; k++ {
+		got, ok := ParseEventKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseEventKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEventKind("bogus"); ok {
+		t.Fatal("ParseEventKind accepted bogus kind")
+	}
+}
+
+// TestFlightRecorderNoAllocs is the hot-path contract: recording into the
+// ring allocates nothing (the obs layer attaches a recorder to every run,
+// subscriber or not, so a per-event allocation would tax every search step).
+func TestFlightRecorderNoAllocs(t *testing.T) {
+	f := NewFlightRecorder(128)
+	ev := Event{Kind: KindAssign, Node: 1, Depth: 2, Span: 3, Parent: 1}
+	if avg := testing.AllocsPerRun(200, func() { f.Trace(ev) }); avg != 0 {
+		t.Fatalf("FlightRecorder.Trace allocates %.1f per event, want 0", avg)
+	}
+}

@@ -133,6 +133,14 @@ const (
 	// involve. Event.Node is the node the jump landed on and Event.Depth the
 	// colored depth there. Event.N is a replay batch size, as for KindNogood.
 	KindBackjump
+	// KindRunEnd is a synthetic terminal event: the run registry appends it
+	// to a run's flight recorder and event stream when the run completes, so
+	// followers (SSE subscribers, cmd/divatop) see an authoritative outcome
+	// without polling /debug/diva/runs. Event.Label carries the outcome
+	// ("ok", "error" or "canceled") and Event.Elapsed the run's wall time.
+	// The engine itself never emits it, so caller-supplied Tracers on the
+	// Options.Tracer path do not see it.
+	KindRunEnd
 )
 
 // String names the event kind.
@@ -168,6 +176,8 @@ func (k EventKind) String() string {
 		return "nogood"
 	case KindBackjump:
 		return "backjump"
+	case KindRunEnd:
+		return "run-end"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
